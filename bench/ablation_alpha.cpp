@@ -1,0 +1,61 @@
+// Ablation: sweep the Eq. 4 weighting coefficient alpha on a subset of
+// benchmarks. Reproduces the paper's alpha = 1 vs alpha = 0.5 discussion
+// (Section 6.2) with a finer grid: alpha = 1 uses only the glitch-aware SA
+// term, alpha = 0 only the mux-balancing term.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void print_alpha_sweep() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  const std::vector<double> alphas = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::string> subset = {"pr", "wang", "mcm", "honda"};
+  AsciiTable t({"Bench", "alpha", "Power (mW)", "Toggle (M/s)", "LUTs",
+                "MuxLen", "muxDiff mean"});
+  for (const auto& name : subset) {
+    const Setup& su = setup(name);
+    for (double a : alphas) {
+      HlpowerParams hp;
+      hp.weight.alpha = a;
+      const auto r = bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache(), hp);
+      const Evaluated ev = evaluate(su, r.fus, 0.0);
+      t.row()
+          .add(name)
+          .add(a, 2)
+          .add(ev.flow.report.dynamic_power_mw, 1)
+          .add(ev.flow.report.toggle_rate_mps, 2)
+          .add(ev.flow.mapped.num_luts)
+          .add(ev.mux.mux_length)
+          .add(ev.mux.muxdiff_mean, 2);
+    }
+  }
+  std::cout << "Ablation: alpha sweep (Eq. 4 weighting; SA term vs "
+               "mux-balancing term)\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_BindAlphaHalf(benchmark::State& state) {
+  using namespace hlp;
+  using namespace hlp::bench;
+  const Setup& su = setup("mcm");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache()));
+}
+BENCHMARK(BM_BindAlphaHalf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_alpha_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: sweep the Eq. 4 beta scaling (mux term magnitude relative to
+// the SA term). The paper reports beta ~ 30 (add) / 1000 (mult) for its
+// estimator's SA scale; our estimator lands at a different absolute scale,
+// so this sweep documents the recalibration (DESIGN.md section 5).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void print_beta_sweep() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  struct BetaPair {
+    double add, mult;
+    const char* note;
+  };
+  const std::vector<BetaPair> betas = {
+      {30, 1000, "paper values"},
+      {60, 2000, ""},
+      {120, 4000, ""},
+      {240, 8000, "our default"},
+      {480, 16000, ""},
+  };
+  const std::vector<std::string> subset = {"pr", "mcm"};
+  AsciiTable t({"Bench", "beta add/mult", "Power (mW)", "Toggle (M/s)",
+                "LUTs", "MuxLen", "muxDiff mean", "note"});
+  for (const auto& name : subset) {
+    const Setup& su = setup(name);
+    for (const auto& bp : betas) {
+      HlpowerParams hp;
+      hp.weight.alpha = 0.5;
+      hp.weight.beta_add = bp.add;
+      hp.weight.beta_mult = bp.mult;
+      const auto r = bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache(), hp);
+      const Evaluated ev = evaluate(su, r.fus, 0.0);
+      t.row()
+          .add(name)
+          .add(fmt_fixed(bp.add, 0) + "/" + fmt_fixed(bp.mult, 0))
+          .add(ev.flow.report.dynamic_power_mw, 1)
+          .add(ev.flow.report.toggle_rate_mps, 2)
+          .add(ev.flow.mapped.num_luts)
+          .add(ev.mux.mux_length)
+          .add(ev.mux.muxdiff_mean, 2)
+          .add(bp.note);
+    }
+  }
+  std::cout << "Ablation: beta sweep (Eq. 4 mux-term scaling, alpha=0.5)\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_beta_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: post-binding port refinement (library extension; the paper's
+// future-work direction of tighter multiplexer control). Measures how many
+// orientation flips the greedy descent finds on top of each binder and
+// what they buy in Eq. 4 cost and measured toggles.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/port_refine.hpp"
+
+namespace {
+
+void print_refine_study() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  AsciiTable t({"Bench", "binder", "flips", "Eq4 cost before/after",
+                "toggle before (M/s)", "toggle after", "chg%"});
+  for (const auto& name : {std::string("pr"), std::string("wang"),
+                           std::string("mcm")}) {
+    const Setup& su = setup(name);
+    const Comparison& cmp = comparison(name);
+    for (const auto& [tag, ev] :
+         {std::pair<const char*, const Evaluated*>{"LOPASS", &cmp.lopass},
+          {"HLPower", &cmp.hlp_half}}) {
+      const PortRefineResult pr =
+          refine_ports(su.g, su.regs, ev->fus, sa_cache());
+      const Evaluated refined = evaluate(su, pr.fus, 0.0);
+      const double before = ev->flow.report.toggle_rate_mps;
+      const double after = refined.flow.report.toggle_rate_mps;
+      t.row()
+          .add(name)
+          .add(tag)
+          .add(pr.flips_applied)
+          .add(fmt_fixed(pr.cost_before, 0) + "/" + fmt_fixed(pr.cost_after, 0))
+          .add(before, 1)
+          .add(after, 1)
+          .add(pct(before, after), 2);
+    }
+  }
+  std::cout << "Ablation: post-binding port refinement (extension)\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_RefinePorts(benchmark::State& state) {
+  using namespace hlp;
+  using namespace hlp::bench;
+  const Setup& su = setup("mcm");
+  const Comparison& cmp = comparison("mcm");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        refine_ports(su.g, su.regs, cmp.hlp_half.fus, sa_cache()));
+}
+BENCHMARK(BM_RefinePorts)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_refine_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: precalculated vs dynamic SA estimation (Section 5.2.2).
+//
+// The paper: "this method provided us with the same results as running the
+// algorithm with dynamic SA estimation, but with a much shorter run time."
+// This bench verifies the exact-equality claim and measures the speedup,
+// plus the text-file persistence round trip.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void print_sacache_study() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  using Clock = std::chrono::steady_clock;
+
+  // Equality: cached vs dynamic values agree exactly on a grid.
+  SaCache& cache = sa_cache();
+  int checked = 0, equal = 0;
+  for (int kind = 0; kind < kNumOpKinds; ++kind)
+    for (int a = 1; a <= 4; ++a)
+      for (int b = 1; b <= 4; ++b) {
+        const OpKind k = static_cast<OpKind>(kind);
+        ++checked;
+        if (cache.switching_activity(k, a, b) == cache.compute_uncached(k, a, b))
+          ++equal;
+      }
+  std::cout << "Ablation: SA precalc vs dynamic (Section 5.2.2)\n";
+  std::cout << "cached == dynamic on " << equal << "/" << checked
+            << " (kind, muxA, muxB) combinations\n";
+
+  // Speedup: bind `pr` with a warm cache vs a cold cache per edge weight.
+  const Setup& su = setup("pr");
+  const auto t0 = Clock::now();
+  bind_fus_hlpower(su.g, su.s, su.regs, su.rc, cache);
+  const double warm =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  SaCache cold(bench_width());
+  const auto t1 = Clock::now();
+  bind_fus_hlpower(su.g, su.s, su.regs, su.rc, cold);
+  const double cold_s =
+      std::chrono::duration<double>(Clock::now() - t1).count();
+  std::cout << "bind(pr): warm cache " << fmt_fixed(warm * 1e3, 1)
+            << " ms, cold cache " << fmt_fixed(cold_s * 1e3, 1) << " ms ("
+            << cold.misses() << " SA computations)\n";
+
+  // Persistence round trip.
+  std::ostringstream text;
+  cache.save(text);
+  SaCache loaded(bench_width());
+  std::istringstream in(text.str());
+  loaded.load(in);
+  std::cout << "text persistence: saved " << cache.size()
+            << " entries, reloaded " << loaded.size() << "\n\n";
+}
+
+void BM_SaLookupWarm(benchmark::State& state) {
+  using namespace hlp;
+  auto& cache = hlp::bench::sa_cache();
+  cache.switching_activity(OpKind::kAdd, 3, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.switching_activity(OpKind::kAdd, 3, 3));
+}
+BENCHMARK(BM_SaLookupWarm);
+
+void BM_SaComputeCold(benchmark::State& state) {
+  using namespace hlp;
+  auto& cache = hlp::bench::sa_cache();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cache.compute_uncached(OpKind::kAdd, 3, 3));
+}
+BENCHMARK(BM_SaComputeCold)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sacache_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Every table/figure binary drives the same controlled pipeline the paper
+// describes in Section 6.1: one scheduled CDFG and one register binding per
+// benchmark (identical for every binder), then LOPASS and HLPower bindings
+// pushed through the identical evaluation flow (elaborate -> map -> time ->
+// simulate -> power).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "binding/datapath_stats.hpp"
+#include "cdfg/benchmarks.hpp"
+#include "core/hlpower.hpp"
+#include "lopass/lopass.hpp"
+#include "power/sa_cache.hpp"
+#include "rtl/flow.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace hlp::bench {
+
+/// The seven paper benchmarks, in Table 1 order.
+const std::vector<std::string>& names();
+
+/// Table 2 resource constraints / paper-reported columns.
+struct Table2Row {
+  int adders;
+  int multipliers;
+  int paper_cycles;
+  int paper_registers;
+};
+Table2Row table2(const std::string& name);
+
+/// Shared per-benchmark setup (schedule + register binding), memoised.
+struct Setup {
+  Cdfg g;
+  Schedule s;
+  RegisterBinding regs;
+  ResourceConstraint rc;
+};
+const Setup& setup(const std::string& name);
+
+/// One binder's full evaluation.
+struct Evaluated {
+  FuBinding fus;
+  DatapathStats mux;
+  FlowResult flow;
+  double bind_seconds = 0.0;
+};
+
+/// All three configurations of the paper's comparison, memoised per
+/// (benchmark, vectors). `alpha1` is HLPower with alpha=1 (SA term only).
+struct Comparison {
+  Evaluated lopass;
+  Evaluated hlp_half;  // alpha = 0.5 (the paper's headline configuration)
+  Evaluated hlp_one;   // alpha = 1.0
+};
+const Comparison& comparison(const std::string& name);
+
+/// Evaluation width and vector count shared by every bench (HLP_VECTORS
+/// overrides the vector count; the paper used 1000).
+int bench_width();
+int bench_vectors();
+
+/// The process-wide SA cache (width = bench_width()).
+SaCache& sa_cache();
+
+/// Run one binding through the evaluation flow.
+Evaluated evaluate(const Setup& su, const FuBinding& fus, double bind_seconds);
+
+/// Percent change helper: 100 * (b - a) / a.
+double pct(double a, double b);
+
+}  // namespace hlp::bench

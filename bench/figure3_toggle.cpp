@@ -1,0 +1,68 @@
+// Figure 3: average toggle rate (millions of transitions per second) for
+// LOPASS, HLPower alpha=1 and HLPower alpha=0.5 on every benchmark, plus
+// the average decrease of the alpha=0.5 configuration.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void print_figure3() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  AsciiTable t({"Bench", "LOPASS (M/s)", "a=1 (M/s)", "a=0.5 (M/s)",
+                "a=1 chg%", "a=0.5 chg%"});
+  double d1 = 0, dh = 0;
+  for (const auto& name : names()) {
+    const Comparison& cmp = comparison(name);
+    const double l = cmp.lopass.flow.report.toggle_rate_mps;
+    const double a1 = cmp.hlp_one.flow.report.toggle_rate_mps;
+    const double ah = cmp.hlp_half.flow.report.toggle_rate_mps;
+    d1 += pct(l, a1);
+    dh += pct(l, ah);
+    t.row()
+        .add(name)
+        .add(l, 2)
+        .add(a1, 2)
+        .add(ah, 2)
+        .add(pct(l, a1), 1)
+        .add(pct(l, ah), 1);
+  }
+  const double n = static_cast<double>(names().size());
+  std::cout << "Figure 3: Average Toggle Rate (unit-delay simulation, "
+            << bench::bench_vectors() << " vectors)\n";
+  t.print(std::cout);
+  std::cout << "Average change vs LOPASS: a=1 " << fmt_fixed(d1 / n, 1)
+            << "%, a=0.5 " << fmt_fixed(dh / n, 1)
+            << "%  (paper: a=1 -8.4%, a=0.5 -21.9%)\n\n";
+}
+
+void BM_SimulatePr(benchmark::State& state) {
+  using namespace hlp;
+  using namespace hlp::bench;
+  const Setup& su = setup("pr");
+  const Comparison& cmp = comparison("pr");
+  const Datapath dp = elaborate_datapath(su.g, su.s,
+                                         Binding{su.regs, cmp.hlp_half.fus},
+                                         DatapathParams{bench_width()});
+  const MapResult mapped = tech_map(dp.netlist);
+  const auto samples = std::vector<std::vector<std::uint64_t>>(
+      10, std::vector<std::uint64_t>(su.g.num_inputs(), 0x5a));
+  const auto frames = make_frames(dp, samples);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simulate_frames(mapped.lut_netlist, frames));
+}
+BENCHMARK(BM_SimulatePr)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 2: resource constraints, schedule length, register count and
+// HLPower runtime per benchmark (identical schedules and register bindings
+// feed both binders, as in the paper).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "binding/lifetimes.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void print_table2() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  AsciiTable t({"Benchmark", "Add", "Mult", "Cycles", "(paper)", "Regs",
+                "(paper)", "HLPower bind (s)"});
+  for (const auto& name : names()) {
+    const Table2Row row = table2(name);
+    const Setup& su = setup(name);
+    const Comparison& cmp = comparison(name);
+    t.row()
+        .add(name)
+        .add(row.adders)
+        .add(row.multipliers)
+        .add(su.s.num_steps)
+        .add(row.paper_cycles)
+        .add(su.regs.num_registers)
+        .add(row.paper_registers)
+        .add(cmp.hlp_half.bind_seconds, 3);
+  }
+  std::cout << "Table 2: Resource Constraints, Schedule Length, Registers\n";
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void BM_HlpowerBind(benchmark::State& state) {
+  using namespace hlp;
+  using namespace hlp::bench;
+  const auto& name = names()[state.range(0)];
+  const Setup& su = setup(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache()));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_HlpowerBind)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

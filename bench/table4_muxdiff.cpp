@@ -1,0 +1,70 @@
+// Table 4: mean and variance of muxDiff across all allocated resources for
+// the final bindings of LOPASS, HLPower alpha=1 and HLPower alpha=0.5 —
+// the multiplexer-balancing evidence.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+void print_table4() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  AsciiTable t({"Bench", "LOPASS mean/var", "a=1 mean/var", "a=0.5 mean/var",
+                "# FUs"});
+  double lm = 0, l1 = 0, lh = 0, lv = 0, v1 = 0, vh = 0;
+  for (const auto& name : names()) {
+    const Comparison& cmp = comparison(name);
+    auto cell = [](const DatapathStats& st) {
+      return fmt_fixed(st.muxdiff_mean, 2) + "/" +
+             fmt_fixed(st.muxdiff_variance, 2);
+    };
+    t.row()
+        .add(name)
+        .add(cell(cmp.lopass.mux))
+        .add(cell(cmp.hlp_one.mux))
+        .add(cell(cmp.hlp_half.mux))
+        .add(cmp.hlp_half.mux.num_fus);
+    lm += cmp.lopass.mux.muxdiff_mean;
+    l1 += cmp.hlp_one.mux.muxdiff_mean;
+    lh += cmp.hlp_half.mux.muxdiff_mean;
+    lv += cmp.lopass.mux.muxdiff_variance;
+    v1 += cmp.hlp_one.mux.muxdiff_variance;
+    vh += cmp.hlp_half.mux.muxdiff_variance;
+  }
+  const double n = static_cast<double>(names().size());
+  t.row()
+      .add("average")
+      .add(fmt_fixed(lm / n, 2) + "/" + fmt_fixed(lv / n, 2))
+      .add(fmt_fixed(l1 / n, 2) + "/" + fmt_fixed(v1 / n, 2))
+      .add(fmt_fixed(lh / n, 2) + "/" + fmt_fixed(vh / n, 2))
+      .add("");
+  std::cout << "Table 4: mean/variance of muxDiff across allocated FUs\n";
+  t.print(std::cout);
+  std::cout << "(paper averages: LOPASS 3.9/13.8, a=1 3.2/8.3, a=0.5 "
+               "2.6/6.2 — the a=0.5 column should balance best)\n\n";
+}
+
+void BM_DatapathStats(benchmark::State& state) {
+  using namespace hlp;
+  using namespace hlp::bench;
+  const Setup& su = setup("chem");
+  const Comparison& cmp = comparison("chem");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        compute_datapath_stats(su.g, su.regs, cmp.hlp_half.fus));
+}
+BENCHMARK(BM_DatapathStats);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

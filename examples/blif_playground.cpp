@@ -1,0 +1,52 @@
+// BLIF playground: the Figure 2 machinery end to end. Generates a partial
+// datapath (mux2 + mux3 + mult) as hierarchical BLIF, flattens it against
+// the model library, technology-maps it to 4-LUTs, and reports both the
+// glitch-aware and the glitch-blind switching-activity estimates next to a
+// unit-delay simulation measurement.
+//
+// Run:  ./build/examples/blif_playground
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "mapper/techmap.hpp"
+#include "netlist/blif.hpp"
+#include "power/activity.hpp"
+#include "rtl/partial_datapath.hpp"
+#include "sim/schedule_sim.hpp"
+#include "sim/vectors.hpp"
+
+int main() {
+  using namespace hlp;
+
+  // Figure 2: 2-input mux on port A, 3-input mux on port B, multiplier FU.
+  const auto pd = make_partial_datapath_blif(OpKind::kMult, 2, 3, 4);
+  std::cout << "generated BLIF (Figure 2 style):\n" << pd.blif << "\n";
+
+  const Netlist flat = blif_from_string(pd.blif, pd.library);
+  std::cout << "flattened: " << flat.num_gates() << " gates, depth "
+            << flat.depth() << "\n";
+
+  const MapResult mapped = tech_map(flat);
+  std::cout << "mapped:    " << mapped.num_luts << " 4-LUTs, depth "
+            << mapped.depth << "\n\n";
+
+  const ActivityResult glitch_aware = estimate_activity(mapped.lut_netlist);
+  const ActivityResult glitch_blind =
+      estimate_activity_zero_delay(mapped.lut_netlist);
+  std::cout << "switching activity estimates (per clock cycle):\n"
+            << "  glitch-aware (Section 4): " << fmt_fixed(glitch_aware.total_sa, 2)
+            << " (glitch part " << fmt_fixed(glitch_aware.glitch_sa, 2) << ")\n"
+            << "  zero-delay (LOPASS view): " << fmt_fixed(glitch_blind.total_sa, 2)
+            << "\n";
+
+  const auto frames = random_vectors(
+      2000, static_cast<int>(mapped.lut_netlist.inputs().size()), 42);
+  const CycleSimStats sim = simulate_frames(mapped.lut_netlist, frames);
+  std::cout << "  measured (unit-delay sim): "
+            << fmt_fixed(sim.transitions_per_cycle(), 2) << " transitions/cycle ("
+            << fmt_fixed(100.0 * static_cast<double>(sim.glitch_transitions()) /
+                             static_cast<double>(sim.total_transitions),
+                         1)
+            << "% glitches)\n";
+  return 0;
+}

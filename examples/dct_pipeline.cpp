@@ -1,0 +1,61 @@
+// DCT-style pipeline: run one of the paper's DCT benchmarks (pr) through
+// both binders — LOPASS (glitch-blind baseline) and HLPower — and compare
+// the datapath quality side by side. This is the workload class the
+// paper's introduction motivates (DSP kernels on FPGAs).
+//
+// Run:  ./build/examples/dct_pipeline [benchmark] [vectors]
+#include <cstdlib>
+#include <iostream>
+
+#include "binding/datapath_stats.hpp"
+#include "binding/register_binder.hpp"
+#include "cdfg/benchmarks.hpp"
+#include "common/table.hpp"
+#include "core/hlpower.hpp"
+#include "lopass/lopass.hpp"
+#include "rtl/flow.hpp"
+#include "sched/list_scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlp;
+  const std::string name = argc > 1 ? argv[1] : "pr";
+  const int vectors = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  const Cdfg g = make_paper_benchmark(name);
+  std::cout << "benchmark " << name << ": " << g.num_ops_of_kind(OpKind::kAdd)
+            << " adds, " << g.num_ops_of_kind(OpKind::kMult)
+            << " mults, depth " << g.depth() << "\n";
+
+  // Shared schedule + register binding (the paper's controlled setup).
+  const ResourceConstraint rc{2, 2};
+  const Schedule s = list_schedule(g, rc);
+  const RegisterBinding regs = bind_registers(g, s);
+  std::cout << "schedule: " << s.num_steps << " steps, "
+            << regs.num_registers << " registers\n\n";
+
+  SaCache cache(8);
+  const FuBinding lop = bind_fus_lopass(g, s, regs, rc, LopassParams{8});
+  const FuBinding hlp_fus =
+      bind_fus_hlpower(g, s, regs, rc, cache).fus;
+
+  FlowParams fp;
+  fp.num_vectors = vectors;
+  AsciiTable t({"binder", "power (mW)", "toggle (M/s)", "LUTs", "clk (ns)",
+                "mux length", "muxDiff mean"});
+  for (const auto& [tag, fus] :
+       {std::pair<const char*, const FuBinding*>{"LOPASS", &lop},
+        {"HLPower", &hlp_fus}}) {
+    const FlowResult r = run_flow(g, s, Binding{regs, *fus}, fp);
+    const DatapathStats st = compute_datapath_stats(g, regs, *fus);
+    t.row()
+        .add(tag)
+        .add(r.report.dynamic_power_mw, 1)
+        .add(r.report.toggle_rate_mps, 2)
+        .add(r.mapped.num_luts)
+        .add(r.clock_period_ns, 1)
+        .add(st.mux_length)
+        .add(st.muxdiff_mean, 2);
+  }
+  t.print(std::cout);
+  return 0;
+}

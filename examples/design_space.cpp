@@ -1,0 +1,54 @@
+// Design-space exploration: how does the resource constraint (allocation)
+// interact with the binding quality? For a fixed benchmark, sweep the
+// adder/multiplier allocation from the schedule's minimum upward and report
+// the area/power/latency trade-off of the HLPower binding at each point —
+// the kind of exploration a user of the library would run before committing
+// to an allocation.
+//
+// Run:  ./build/examples/design_space [benchmark]
+#include <iostream>
+
+#include "binding/register_binder.hpp"
+#include "cdfg/benchmarks.hpp"
+#include "common/table.hpp"
+#include "core/hlpower.hpp"
+#include "rtl/flow.hpp"
+#include "sched/list_scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlp;
+  const std::string name = argc > 1 ? argv[1] : "wang";
+  const Cdfg g = make_paper_benchmark(name);
+  SaCache cache(8);
+
+  AsciiTable t({"adders", "mults", "csteps", "regs", "FUs", "LUTs",
+                "power (mW)", "clk (ns)", "latency*clk (ns)"});
+  for (int adders = 1; adders <= 4; ++adders) {
+    for (int mults = 1; mults <= 4; ++mults) {
+      const ResourceConstraint rc{adders, mults};
+      const Schedule s = list_schedule(g, rc);
+      if (s.max_density(g, OpKind::kAdd) > adders ||
+          s.max_density(g, OpKind::kMult) > mults)
+        continue;
+      const RegisterBinding regs = bind_registers(g, s);
+      const Binding bind{regs, bind_fus_hlpower(g, s, regs, rc, cache).fus};
+      FlowParams fp;
+      fp.num_vectors = 60;
+      const FlowResult r = run_flow(g, s, bind, fp);
+      t.row()
+          .add(adders)
+          .add(mults)
+          .add(s.num_steps)
+          .add(regs.num_registers)
+          .add(bind.fus.num_fus())
+          .add(r.mapped.num_luts)
+          .add(r.report.dynamic_power_mw, 1)
+          .add(r.clock_period_ns, 1)
+          .add(s.num_steps * r.clock_period_ns, 0);
+    }
+  }
+  std::cout << "design space for '" << name
+            << "' (HLPower binding at every allocation):\n";
+  t.print(std::cout);
+  return 0;
+}

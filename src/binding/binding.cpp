@@ -1,0 +1,120 @@
+#include "binding/binding.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+int RegisterBinding::port_a_reg(const Cdfg& g, int op) const {
+  const auto& o = g.op(op);
+  const ValueRef v = lhs_on_port_a[op] ? o.lhs : o.rhs;
+  return reg_of_value[value_id(g, v)];
+}
+
+int RegisterBinding::port_b_reg(const Cdfg& g, int op) const {
+  const auto& o = g.op(op);
+  const ValueRef v = lhs_on_port_a[op] ? o.rhs : o.lhs;
+  return reg_of_value[value_id(g, v)];
+}
+
+void RegisterBinding::validate(const Cdfg& g, const Schedule& s) const {
+  HLP_CHECK(static_cast<int>(reg_of_value.size()) == num_values(g),
+            "register binding covers " << reg_of_value.size() << " values, want "
+                                       << num_values(g));
+  HLP_CHECK(static_cast<int>(lhs_on_port_a.size()) == g.num_ops(),
+            "port assignment size mismatch");
+  const auto lt = compute_lifetimes(g, s);
+  // Group values by register and check pairwise disjointness.
+  std::vector<std::vector<int>> values_of_reg(num_registers);
+  for (int v = 0; v < num_values(g); ++v) {
+    const int r = reg_of_value[v];
+    HLP_CHECK(r >= 0 && r < num_registers, "value " << v << " bound to register "
+                                                    << r << " out of range");
+    values_of_reg[r].push_back(v);
+  }
+  for (int r = 0; r < num_registers; ++r) {
+    auto& vs = values_of_reg[r];
+    std::sort(vs.begin(), vs.end(),
+              [&](int a, int b) { return lt[a].birth < lt[b].birth; });
+    for (std::size_t i = 1; i < vs.size(); ++i)
+      HLP_CHECK(!overlaps(lt[vs[i - 1]], lt[vs[i]]),
+                "register " << r << " holds overlapping values " << vs[i - 1]
+                            << " and " << vs[i]);
+  }
+}
+
+int FuBinding::port_a_reg(const Cdfg& g, const RegisterBinding& regs,
+                          int op) const {
+  return is_flipped(op) ? regs.port_b_reg(g, op) : regs.port_a_reg(g, op);
+}
+
+int FuBinding::port_b_reg(const Cdfg& g, const RegisterBinding& regs,
+                          int op) const {
+  return is_flipped(op) ? regs.port_a_reg(g, op) : regs.port_b_reg(g, op);
+}
+
+int FuBinding::num_fus_of_kind(OpKind k) const {
+  return static_cast<int>(
+      std::count(kind_of_fu.begin(), kind_of_fu.end(), k));
+}
+
+std::vector<std::vector<int>> FuBinding::ops_of_fu(const Cdfg& g) const {
+  std::vector<std::vector<int>> out(num_fus());
+  for (int i = 0; i < g.num_ops(); ++i) out[fu_of_op[i]].push_back(i);
+  return out;
+}
+
+void FuBinding::validate(const Cdfg& g, const Schedule& s,
+                         const ResourceConstraint& rc) const {
+  HLP_CHECK(static_cast<int>(fu_of_op.size()) == g.num_ops(),
+            "FU binding covers " << fu_of_op.size() << " ops, want "
+                                 << g.num_ops());
+  HLP_CHECK(flipped.empty() ||
+                static_cast<int>(flipped.size()) == g.num_ops(),
+            "flip vector must be empty or cover every op");
+  for (int i = 0; i < g.num_ops(); ++i) {
+    const int f = fu_of_op[i];
+    HLP_CHECK(f >= 0 && f < num_fus(), "op " << i << " bound to FU " << f
+                                             << " out of range");
+    HLP_CHECK(kind_of_fu[f] == g.op(i).kind,
+              "op '" << g.op(i).name << "' (" << to_string(g.op(i).kind)
+                     << ") bound to a " << to_string(kind_of_fu[f]) << " FU");
+  }
+  const auto groups = ops_of_fu(g);
+  for (int f = 0; f < num_fus(); ++f) {
+    std::vector<int> steps;
+    for (int op : groups[f]) steps.push_back(s.cstep_of_op[op]);
+    std::sort(steps.begin(), steps.end());
+    HLP_CHECK(std::adjacent_find(steps.begin(), steps.end()) == steps.end(),
+              "FU " << f << " executes two ops in the same control step");
+  }
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    const OpKind kind = static_cast<OpKind>(k);
+    HLP_CHECK(num_fus_of_kind(kind) <= rc.limit(kind),
+              "allocation of " << num_fus_of_kind(kind) << " "
+                               << to_string(kind) << " FUs exceeds limit "
+                               << rc.limit(kind));
+  }
+}
+
+FuPortSources fu_port_sources(const Cdfg& g, const RegisterBinding& regs,
+                              const FuBinding& fus) {
+  FuPortSources out;
+  out.port_a.resize(fus.num_fus());
+  out.port_b.resize(fus.num_fus());
+  for (int i = 0; i < g.num_ops(); ++i) {
+    const int f = fus.fu_of_op[i];
+    out.port_a[f].push_back(fus.port_a_reg(g, regs, i));
+    out.port_b[f].push_back(fus.port_b_reg(g, regs, i));
+  }
+  auto uniq = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (auto& v : out.port_a) uniq(v);
+  for (auto& v : out.port_b) uniq(v);
+  return out;
+}
+
+}  // namespace hlp

@@ -1,0 +1,71 @@
+// Binding result types shared by HLPower and the LOPASS baseline, plus
+// validation (Section 3: "produce a valid binding solution while meeting
+// the resource constraint").
+#pragma once
+
+#include <vector>
+
+#include "binding/lifetimes.hpp"
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+/// Register binding: one register per value, plus the random operator-port
+/// assignment the paper fixes during this step ("operator ports are
+/// randomly bound during this step", Section 5.1).
+struct RegisterBinding {
+  int num_registers = 0;
+  std::vector<int> reg_of_value;   // value id -> register id
+  std::vector<char> lhs_on_port_a; // per op: 1 = lhs feeds port A
+
+  /// Register holding the operand that feeds port A (resp. B) of op `i`.
+  int port_a_reg(const Cdfg& g, int op) const;
+  int port_b_reg(const Cdfg& g, int op) const;
+
+  /// Throws unless every register holds at most one live value at a time.
+  void validate(const Cdfg& g, const Schedule& s) const;
+};
+
+/// Functional-unit binding: dense FU ids across both kinds. Because both
+/// resource kinds are commutative, a binder may also flip an operation's
+/// operand orientation (port assignment optimisation, after Chen & Cong
+/// ASP-DAC'04) — `flipped` records that choice per op (empty = none).
+struct FuBinding {
+  std::vector<int> fu_of_op;     // op id -> FU id
+  std::vector<OpKind> kind_of_fu;
+  std::vector<char> flipped;     // per op; may be empty (no flips)
+
+  bool is_flipped(int op) const {
+    return !flipped.empty() && flipped.at(op) != 0;
+  }
+  /// Register feeding port A (resp. B) of `op`, honouring the flip.
+  int port_a_reg(const Cdfg& g, const RegisterBinding& regs, int op) const;
+  int port_b_reg(const Cdfg& g, const RegisterBinding& regs, int op) const;
+
+  int num_fus() const { return static_cast<int>(kind_of_fu.size()); }
+  int num_fus_of_kind(OpKind k) const;
+  /// Ops bound to each FU.
+  std::vector<std::vector<int>> ops_of_fu(const Cdfg& g) const;
+
+  /// Throws unless kinds match, no two ops on one FU share a control step,
+  /// and the allocation meets `rc`.
+  void validate(const Cdfg& g, const Schedule& s,
+                const ResourceConstraint& rc) const;
+};
+
+/// Complete binding solution.
+struct Binding {
+  RegisterBinding regs;
+  FuBinding fus;
+};
+
+/// Distinct source registers feeding each FU port (sorted).
+struct FuPortSources {
+  std::vector<std::vector<int>> port_a;  // per FU
+  std::vector<std::vector<int>> port_b;
+};
+FuPortSources fu_port_sources(const Cdfg& g, const RegisterBinding& regs,
+                              const FuBinding& fus);
+
+}  // namespace hlp

@@ -1,0 +1,42 @@
+#include "binding/datapath_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+DatapathStats compute_datapath_stats(const Cdfg& g, const RegisterBinding& regs,
+                                     const FuBinding& fus) {
+  const FuPortSources src = fu_port_sources(g, regs, fus);
+  DatapathStats st;
+  st.num_fus = fus.num_fus();
+  st.mux_size_a.resize(st.num_fus);
+  st.mux_size_b.resize(st.num_fus);
+  st.muxdiff.resize(st.num_fus);
+
+  double sum = 0.0;
+  for (int f = 0; f < st.num_fus; ++f) {
+    const int a = static_cast<int>(src.port_a[f].size());
+    const int b = static_cast<int>(src.port_b[f].size());
+    st.mux_size_a[f] = a;
+    st.mux_size_b[f] = b;
+    st.muxdiff[f] = std::abs(a - b);
+    st.largest_mux = std::max({st.largest_mux, a, b});
+    if (a >= 2) st.mux_length += a;
+    if (b >= 2) st.mux_length += b;
+    sum += st.muxdiff[f];
+  }
+  if (st.num_fus > 0) {
+    st.muxdiff_mean = sum / st.num_fus;
+    double var = 0.0;
+    for (int d : st.muxdiff)
+      var += (d - st.muxdiff_mean) * (d - st.muxdiff_mean);
+    st.muxdiff_variance = var / st.num_fus;
+  }
+  return st;
+}
+
+}  // namespace hlp

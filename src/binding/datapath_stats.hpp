@@ -1,0 +1,34 @@
+// Multiplexer statistics of a binding solution — the high-level metrics of
+// Table 3 ("Largest MUX", "MUX Length") and Table 4 (mean/variance of
+// muxDiff across all allocated resources).
+//
+// A functional unit port fed by n distinct registers needs an n-input
+// multiplexer (n == 1 is a direct connection and contributes no mux).
+// muxDiff of an FU is |size(muxA) - size(muxB)|, the quantity Eq. 4
+// balances; unbalanced input muxes mean unbalanced path delays into the FU
+// and therefore more glitching.
+#pragma once
+
+#include <vector>
+
+#include "binding/binding.hpp"
+
+namespace hlp {
+
+struct DatapathStats {
+  int largest_mux = 0;
+  /// Sum of the sizes of all real (>= 2 input) FU-input multiplexers.
+  int mux_length = 0;
+  /// Number of allocated FUs (Table 4's "# muxes" granularity).
+  int num_fus = 0;
+  double muxdiff_mean = 0.0;
+  double muxdiff_variance = 0.0;  // population variance
+  std::vector<int> mux_size_a;    // per FU
+  std::vector<int> mux_size_b;
+  std::vector<int> muxdiff;       // per FU
+};
+
+DatapathStats compute_datapath_stats(const Cdfg& g, const RegisterBinding& regs,
+                                     const FuBinding& fus);
+
+}  // namespace hlp

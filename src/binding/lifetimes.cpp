@@ -1,0 +1,54 @@
+#include "binding/lifetimes.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+std::vector<Lifetime> compute_lifetimes(const Cdfg& g, const Schedule& s) {
+  s.validate(g);
+  std::vector<Lifetime> lt(num_values(g));
+  for (int i = 0; i < g.num_inputs(); ++i) lt[i] = {0, 0};
+  for (int i = 0; i < g.num_ops(); ++i) {
+    const int b = s.cstep_of_op[i] + 1;
+    lt[g.num_inputs() + i] = {b, b};
+  }
+  // Extend deaths to the last reading control step.
+  for (int i = 0; i < g.num_ops(); ++i) {
+    const int read_step = s.cstep_of_op[i];
+    auto extend = [&](ValueRef v) {
+      auto& l = lt[value_id(g, v)];
+      l.death = std::max(l.death, read_step);
+    };
+    extend(g.op(i).lhs);
+    extend(g.op(i).rhs);
+  }
+  // Output values are observable until the end of the schedule.
+  for (int i = 0; i < g.num_outputs(); ++i) {
+    auto& l = lt[value_id(g, g.output(i).value)];
+    l.death = std::max(l.death, s.num_steps);
+  }
+  for (const auto& l : lt)
+    HLP_CHECK(l.death >= l.birth, "value dies before it is born");
+  return lt;
+}
+
+int max_live_values(const std::vector<Lifetime>& lifetimes) {
+  if (lifetimes.empty()) return 0;
+  int max_t = 0;
+  for (const auto& l : lifetimes) max_t = std::max(max_t, l.death);
+  std::vector<int> live(max_t + 2, 0);
+  for (const auto& l : lifetimes) {
+    ++live[l.birth];
+    --live[l.death + 1];
+  }
+  int best = 0, cur = 0;
+  for (int t = 0; t <= max_t; ++t) {
+    cur += live[t];
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+}  // namespace hlp

@@ -1,0 +1,42 @@
+// Variable lifetime analysis over a scheduled CDFG.
+//
+// Value numbering: value v in [0, num_inputs) is the v-th primary input;
+// value num_inputs + i is the result of operation i. A primary input is
+// born at step 0; an operation scheduled at step s writes its result at the
+// end of s, so the value is born at step s+1. A value dies at the latest
+// control step that reads it; values feeding primary outputs live to the
+// end of the schedule. Two values may share a register iff their [birth,
+// death] intervals are disjoint.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+struct Lifetime {
+  int birth = 0;
+  int death = 0;  // inclusive
+};
+
+inline bool overlaps(const Lifetime& a, const Lifetime& b) {
+  return !(a.death < b.birth || b.death < a.birth);
+}
+
+/// Dense value id helpers.
+inline int value_id(const Cdfg& g, ValueRef v) {
+  return v.is_input() ? v.index : g.num_inputs() + v.index;
+}
+inline int num_values(const Cdfg& g) { return g.num_inputs() + g.num_ops(); }
+
+/// Lifetime of every value (indexed by value id).
+std::vector<Lifetime> compute_lifetimes(const Cdfg& g, const Schedule& s);
+
+/// Maximum number of simultaneously-live values — the register allocation
+/// ("the control step with the largest number of variables with overlapping
+/// lifetimes", Section 5.1).
+int max_live_values(const std::vector<Lifetime>& lifetimes);
+
+}  // namespace hlp

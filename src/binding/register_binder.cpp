@@ -1,0 +1,89 @@
+#include "binding/register_binder.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graph/bipartite.hpp"
+
+namespace hlp {
+namespace {
+
+// Affinity between a value and the values already in a register: sharing a
+// producer kind or a consumer op suggests shared interconnect after FU
+// binding, the [11] weighting rationale.
+double affinity(const Cdfg& g, int value,
+                const std::vector<std::vector<int>>& consumers,
+                const std::vector<int>& occupants) {
+  auto producer_kind = [&](int v) -> int {
+    return v < g.num_inputs() ? -1
+                              : op_kind_index(g.op(v - g.num_inputs()).kind);
+  };
+  double w = 0.0;
+  for (int other : occupants) {
+    if (producer_kind(other) >= 0 && producer_kind(other) == producer_kind(value))
+      w += 0.5;
+    for (int c1 : consumers[value])
+      for (int c2 : consumers[other])
+        if (c1 == c2) w += 0.25;
+  }
+  return w;
+}
+
+}  // namespace
+
+RegisterBinding bind_registers(const Cdfg& g, const Schedule& s,
+                               std::uint64_t seed) {
+  const auto lt = compute_lifetimes(g, s);
+  Rng rng(seed);
+
+  RegisterBinding out;
+  out.num_registers = max_live_values(lt);
+  out.reg_of_value.assign(num_values(g), -1);
+  out.lhs_on_port_a.assign(g.num_ops(), 0);
+  for (int i = 0; i < g.num_ops(); ++i)
+    out.lhs_on_port_a[i] = rng.chance(0.5) ? 1 : 0;
+
+  const auto consumers = g.op_consumers();
+
+  // Cluster values by birth time, bind clusters in ascending order.
+  std::map<int, std::vector<int>> clusters;
+  for (int v = 0; v < num_values(g); ++v) clusters[lt[v].birth].push_back(v);
+
+  // Per register: values bound so far (their lifetimes are disjoint).
+  std::vector<std::vector<int>> occupants(out.num_registers);
+  // Latest death time among occupants — compatibility test for a new value
+  // born after every previous occupant died.
+  std::vector<int> last_death(out.num_registers, -1);
+
+  for (auto& [birth, cluster] : clusters) {
+    // Values in one cluster share a birth step, so their lifetimes overlap
+    // pairwise: a cluster of mutually-unsharable variables.
+    std::vector<std::vector<double>> weight(
+        cluster.size(), std::vector<double>(out.num_registers, 0.0));
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const int v = cluster[i];
+      for (int r = 0; r < out.num_registers; ++r) {
+        if (last_death[r] >= lt[v].birth) continue;  // occupied
+        weight[i][r] = 1.0 + affinity(g, v, consumers, occupants[r]) +
+                       0.01 * rng.uniform();  // deterministic-seed tiebreak
+      }
+    }
+    const MatchingResult m = max_weight_matching(weight);
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const int v = cluster[i];
+      const int r = m.match_of_left[i];
+      HLP_CHECK(r >= 0, "no free register for value " << v << " born at "
+                                                      << lt[v].birth
+                                                      << " (allocation too small?)");
+      out.reg_of_value[v] = r;
+      occupants[r].push_back(v);
+      last_death[r] = std::max(last_death[r], lt[v].death);
+    }
+  }
+  out.validate(g, s);
+  return out;
+}
+
+}  // namespace hlp

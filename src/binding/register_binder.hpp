@@ -1,0 +1,27 @@
+// Register allocation and binding (Section 5.1), after Huang et al.,
+// "Data path allocation based on bipartite weighted matching", DAC 1990.
+//
+// The allocation equals the maximum number of values with overlapping
+// lifetimes. Values are bound one birth-time cluster at a time (a cluster
+// of mutually-unsharable variables), in ascending birth order, by solving a
+// weighted bipartite matching between the cluster and the compatible
+// registers; weights favour register reuse between values with a common
+// producer kind or consumer (interconnect affinity). Operator ports are
+// randomly assigned here, exactly as the paper states.
+//
+// Both LOPASS and HLPower runs share the register binding produced here
+// (Table 2: "identical schedules and register bindings were used").
+#pragma once
+
+#include <cstdint>
+
+#include "binding/binding.hpp"
+
+namespace hlp {
+
+/// Bind registers for a scheduled CDFG. Deterministic in `seed` (port
+/// assignment and tie-breaking).
+RegisterBinding bind_registers(const Cdfg& g, const Schedule& s,
+                               std::uint64_t seed = 42);
+
+}  // namespace hlp

@@ -1,0 +1,30 @@
+// Text and DOT serialisation of CDFGs.
+//
+// Text format (one directive per line, `#` comments):
+//   cdfg <name>
+//   input <name>
+//   op <name> <add|mult> <value> <value>
+//   output <name> <value>
+// Values are referenced by name; ops must be defined before use, so the file
+// order is a topological order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cdfg/cdfg.hpp"
+
+namespace hlp {
+
+/// Serialise to the text format.
+void write_cdfg(const Cdfg& g, std::ostream& os);
+std::string cdfg_to_string(const Cdfg& g);
+
+/// Parse the text format; throws hlp::Error on malformed input.
+Cdfg read_cdfg(std::istream& is);
+Cdfg cdfg_from_string(const std::string& text);
+
+/// Graphviz DOT export (adds shaped nodes per op kind).
+std::string cdfg_to_dot(const Cdfg& g);
+
+}  // namespace hlp

@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+namespace hlp::detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": check `" << cond << "` failed";
+  if (!msg.empty()) oss << ": " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace hlp::detail

@@ -1,0 +1,40 @@
+// Error handling for the HLPower library.
+//
+// All invariant violations and malformed inputs throw hlp::Error, which
+// carries a formatted message. The HLP_CHECK / HLP_REQUIRE macros are the
+// preferred way to state preconditions and invariants in library code.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hlp {
+
+/// Exception type thrown on any library error (bad input, broken invariant,
+/// I/O failure). Derives from std::runtime_error so callers can catch either.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace hlp
+
+/// Precondition / invariant check: throws hlp::Error when `cond` is false.
+/// The streamed message is only evaluated on failure.
+#define HLP_CHECK(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream hlp_oss_;                                         \
+      hlp_oss_ << msg; /* NOLINT */                                        \
+      ::hlp::detail::throw_error(__FILE__, __LINE__, #cond, hlp_oss_.str()); \
+    }                                                                      \
+  } while (0)
+
+/// Check for user-supplied input; identical behaviour, distinct intent.
+#define HLP_REQUIRE(cond, msg) HLP_CHECK(cond, msg)

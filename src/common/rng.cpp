@@ -1,0 +1,23 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+std::uint32_t Rng::below(std::uint32_t bound) {
+  HLP_CHECK(bound > 0, "Rng::below bound must be positive");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::range(int lo, int hi) {
+  HLP_CHECK(lo <= hi, "Rng::range requires lo <= hi, got " << lo << ".." << hi);
+  const auto span = static_cast<std::uint32_t>(hi - lo) + 1u;
+  return lo + static_cast<int>(below(span));
+}
+
+}  // namespace hlp

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generator.
+//
+// All stochastic choices in the library (random vectors, random port
+// assignment, synthetic benchmark generation) go through hlp::Rng so that
+// every run is reproducible from a single seed. The generator is PCG32
+// (O'Neill 2014): small state, excellent statistical quality, and stable
+// output across platforms (unlike std::mt19937 + std::uniform_int_distribution,
+// whose distribution output is implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace hlp {
+
+/// PCG32 deterministic random number generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) { reseed(seed); }
+
+  /// Re-initialise the stream from a seed.
+  void reseed(std::uint64_t seed) {
+    state_ = 0u;
+    next_u32();
+    state_ += seed + 0x9e3779b97f4a7c15ull;
+    next_u32();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + 1442695040888963407ull;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint32_t below(std::uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int range(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = below(static_cast<std::uint32_t>(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace hlp

@@ -1,0 +1,29 @@
+// Small string utilities shared across the library (tokenising BLIF/CDFG
+// text formats, formatting report values).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hlp {
+
+/// Split on whitespace, dropping empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Split on a single character delimiter; keeps empty fields.
+std::vector<std::string> split_on(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Format a double with fixed decimals (report printing).
+std::string fmt_fixed(double v, int decimals);
+
+/// Join tokens with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace hlp

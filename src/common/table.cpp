@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlp {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HLP_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+AsciiTable& AsciiTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+AsciiTable& AsciiTable::add(std::string cell) {
+  HLP_CHECK(!rows_.empty(), "call row() before add()");
+  HLP_CHECK(rows_.back().size() < headers_.size(),
+            "row has more cells than headers (" << headers_.size() << ")");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+AsciiTable& AsciiTable::add(const char* cell) { return add(std::string(cell)); }
+AsciiTable& AsciiTable::add(int v) { return add(std::to_string(v)); }
+AsciiTable& AsciiTable::add(std::size_t v) { return add(std::to_string(v)); }
+AsciiTable& AsciiTable::add(double v, int decimals) {
+  return add(fmt_fixed(v, decimals));
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << (c ? "  " : "") << v
+         << std::string(width[c] - std::min(width[c], v.size()), ' ');
+    }
+    os << "\n";
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace hlp

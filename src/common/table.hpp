@@ -1,0 +1,36 @@
+// ASCII table printer used by the benchmark harness to render the paper's
+// tables (Table 1..4, Figure 3 series) in a readable aligned form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hlp {
+
+/// Column-aligned ASCII table. Rows are added as string cells; numeric
+/// convenience overloads format with fixed precision.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent add() calls fill it left to right.
+  AsciiTable& row();
+  AsciiTable& add(std::string cell);
+  AsciiTable& add(const char* cell);
+  AsciiTable& add(int v);
+  AsciiTable& add(std::size_t v);
+  AsciiTable& add(double v, int decimals = 2);
+
+  /// Render with a header rule and column padding.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hlp

@@ -1,0 +1,57 @@
+// HLPower: the paper's iterative, glitch-aware functional-unit binding
+// (Algorithm 1).
+//
+//   1: Input: scheduled CDFG, library, resource constraint
+//   3: precalc SA values for all FU & MUX combinations
+//   4: bind registers according to [11]          (binding/register_binder)
+//   5: traverse CDFG, select nodes for set U     (densest control step per
+//   6: put remaining nodes in set V               operation type)
+//   7: while resource constraint is not met do
+//   8:   initialise bipartite graph G = (U, V, E)
+//   9:   for all edges: mux sizes -> SA lookup -> Eq. 4 weight
+//  14:   solve G for maximum weight
+//  15:   combine matched nodes & allocate functional units
+//
+// Theorem 1 guarantees the per-type maximum control-step density (the
+// minimum possible allocation) is reachable for single-cycle resources;
+// bind_fus_hlpower verifies the requested constraint is met and throws
+// otherwise.
+#pragma once
+
+#include <cstdint>
+
+#include "binding/binding.hpp"
+#include "core/edge_weight.hpp"
+#include "power/sa_cache.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+struct HlpowerParams {
+  EdgeWeightParams weight;
+  /// Cap on merges per kind per iteration so the allocation lands exactly
+  /// on the resource constraint instead of overshooting below it.
+  bool stop_at_constraint = true;
+};
+
+struct HlpowerResult {
+  FuBinding fus;
+  int iterations = 0;
+  int edges_evaluated = 0;
+};
+
+/// Bind operations to FUs. `regs` must already be bound (shared with the
+/// baseline, as in the paper's experimental setup). Throws hlp::Error if
+/// the constraint is below the per-type maximum density (infeasible).
+HlpowerResult bind_fus_hlpower(const Cdfg& g, const Schedule& s,
+                               const RegisterBinding& regs,
+                               const ResourceConstraint& rc, SaCache& cache,
+                               const HlpowerParams& params = {});
+
+/// Convenience: full HLPower binding (registers + FUs).
+Binding bind_hlpower(const Cdfg& g, const Schedule& s,
+                     const ResourceConstraint& rc, SaCache& cache,
+                     const HlpowerParams& params = {},
+                     std::uint64_t reg_seed = 42);
+
+}  // namespace hlp

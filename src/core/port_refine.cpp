@@ -1,0 +1,87 @@
+#include "core/port_refine.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace hlp {
+namespace {
+
+// Eq. 4 cost of one FU's input stage: the inverse of the edge weight the
+// binder would assign to this configuration (lower = better).
+double fu_cost(OpKind kind, int n_a, int n_b, SaCache& cache,
+               const EdgeWeightParams& params) {
+  const auto w = edge_weight(kind, std::max(1, n_a), std::max(1, n_b), cache,
+                             params);
+  return 1.0 / w.weight;
+}
+
+}  // namespace
+
+PortRefineResult refine_ports(const Cdfg& g, const RegisterBinding& regs,
+                              const FuBinding& fus, SaCache& cache,
+                              const EdgeWeightParams& params) {
+  PortRefineResult r;
+  r.fus = fus;
+  if (r.fus.flipped.empty()) r.fus.flipped.assign(g.num_ops(), 0);
+
+  const auto groups = r.fus.ops_of_fu(g);
+
+  // Per-FU multisets of port source registers (flip-aware, updated live).
+  std::vector<std::multiset<int>> port_a(r.fus.num_fus());
+  std::vector<std::multiset<int>> port_b(r.fus.num_fus());
+  for (int op = 0; op < g.num_ops(); ++op) {
+    const int f = r.fus.fu_of_op[op];
+    port_a[f].insert(r.fus.port_a_reg(g, regs, op));
+    port_b[f].insert(r.fus.port_b_reg(g, regs, op));
+  }
+  auto distinct = [](const std::multiset<int>& ms) {
+    int n = 0;
+    for (auto it = ms.begin(); it != ms.end(); it = ms.upper_bound(*it)) ++n;
+    return n;
+  };
+  auto cost_of = [&](int f) {
+    return fu_cost(r.fus.kind_of_fu[f], distinct(port_a[f]),
+                   distinct(port_b[f]), cache, params);
+  };
+
+  for (int f = 0; f < r.fus.num_fus(); ++f) r.cost_before += cost_of(f);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++r.passes;
+    HLP_CHECK(r.passes <= g.num_ops() + 2, "port refinement diverged");
+    for (int f = 0; f < r.fus.num_fus(); ++f) {
+      for (int op : groups[f]) {
+        const int ra = r.fus.port_a_reg(g, regs, op);
+        const int rb = r.fus.port_b_reg(g, regs, op);
+        if (ra == rb) continue;  // flip is a no-op
+        const double before = cost_of(f);
+        // Tentatively flip: move ra from A to B and rb from B to A.
+        port_a[f].erase(port_a[f].find(ra));
+        port_b[f].erase(port_b[f].find(rb));
+        port_a[f].insert(rb);
+        port_b[f].insert(ra);
+        const double after = cost_of(f);
+        if (after < before - 1e-12) {
+          r.fus.flipped[op] ^= 1;
+          ++r.flips_applied;
+          changed = true;
+        } else {
+          // Revert.
+          port_a[f].erase(port_a[f].find(rb));
+          port_b[f].erase(port_b[f].find(ra));
+          port_a[f].insert(ra);
+          port_b[f].insert(rb);
+        }
+      }
+    }
+  }
+
+  for (int f = 0; f < r.fus.num_fus(); ++f) r.cost_after += cost_of(f);
+  return r;
+}
+
+}  // namespace hlp

@@ -1,0 +1,32 @@
+// Post-binding port-assignment refinement.
+//
+// After FU binding, each commutative operation's operand orientation can
+// still be flipped. This pass runs a deterministic greedy descent: flip an
+// op whenever doing so reduces the bound FU's Eq. 4 cost — the glitch-aware
+// SA of its (muxA, muxB) input stage, with the muxDiff balance term — and
+// repeats to a fixed point. It implements the "port assignment for
+// multiplexer optimisation" idea of Chen & Cong (ASP-DAC'04) on top of any
+// binding, and serves as the library's local-search extension of HLPower
+// (the paper's future-work direction of tighter mux control).
+#pragma once
+
+#include "binding/binding.hpp"
+#include "core/edge_weight.hpp"
+#include "power/sa_cache.hpp"
+
+namespace hlp {
+
+struct PortRefineResult {
+  FuBinding fus;       // refined binding (same FU assignment, new flips)
+  int flips_applied = 0;
+  int passes = 0;
+  double cost_before = 0.0;  // sum over FUs of Eq. 4 cost (1/weight)
+  double cost_after = 0.0;
+};
+
+/// Refine the port assignment of `fus` (FU assignment unchanged).
+PortRefineResult refine_ports(const Cdfg& g, const RegisterBinding& regs,
+                              const FuBinding& fus, SaCache& cache,
+                              const EdgeWeightParams& params = {});
+
+}  // namespace hlp

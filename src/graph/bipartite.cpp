@@ -1,0 +1,140 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hlp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Hungarian algorithm in the potential/shortest-augmenting-path form.
+// Minimises total cost of assigning each of n rows to a distinct column of
+// the (n x m) matrix `a`, n <= m. Entries may be +inf (forbidden).
+// Returns per-row column indices, or an empty vector when infeasible.
+std::vector<int> hungarian_min(const std::vector<std::vector<double>>& a) {
+  const int n = static_cast<int>(a.size());
+  if (n == 0) return {};
+  const int m = static_cast<int>(a[0].size());
+  HLP_CHECK(n <= m, "hungarian: rows (" << n << ") must be <= cols (" << m << ")");
+
+  // 1-indexed potentials over rows (u) and columns (v); p[j] = row matched
+  // to column j (0 = free). Classic e-maxx formulation.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int> p(m + 1, 0), way(m + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = a[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      if (j1 < 0 || !std::isfinite(delta)) return {};  // infeasible
+      for (int j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the recorded path.
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0);
+  }
+
+  std::vector<int> match(n, -1);
+  for (int j = 1; j <= m; ++j)
+    if (p[j] > 0) match[p[j] - 1] = j - 1;
+  return match;
+}
+
+}  // namespace
+
+int MatchingResult::cardinality() const {
+  int c = 0;
+  for (int j : match_of_left)
+    if (j >= 0) ++c;
+  return c;
+}
+
+MatchingResult max_weight_matching(
+    const std::vector<std::vector<double>>& weight) {
+  MatchingResult out;
+  const int n = static_cast<int>(weight.size());
+  out.match_of_left.assign(n, -1);
+  if (n == 0) return out;
+  const int m = static_cast<int>(weight[0].size());
+  for (const auto& row : weight)
+    HLP_CHECK(static_cast<int>(row.size()) == m, "ragged weight matrix");
+  if (m == 0) return out;
+
+  // Cost matrix: negated weights, plus n dummy columns of cost 0 so any row
+  // may remain unmatched. Non-edges (w <= 0) also cost 0 so they are never
+  // preferred over a real edge.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(m + n, 0.0));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < m; ++j)
+      if (weight[i][j] > 0.0) cost[i][j] = -weight[i][j];
+
+  const std::vector<int> match = hungarian_min(cost);
+  HLP_CHECK(!match.empty(), "padded assignment must be feasible");
+  for (int i = 0; i < n; ++i) {
+    const int j = match[i];
+    if (j >= 0 && j < m && weight[i][j] > 0.0) {
+      out.match_of_left[i] = j;
+      out.total_weight += weight[i][j];
+    }
+  }
+  return out;
+}
+
+MatchingResult min_cost_assignment(const std::vector<std::vector<double>>& cost,
+                                   double forbidden_cost) {
+  MatchingResult out;
+  const int n = static_cast<int>(cost.size());
+  out.match_of_left.assign(n, -1);
+  if (n == 0) return out;
+  const int m = static_cast<int>(cost[0].size());
+  HLP_REQUIRE(n <= m, "min_cost_assignment: more rows (" << n << ") than columns ("
+                                                         << m << ")");
+  std::vector<std::vector<double>> a(n, std::vector<double>(m));
+  for (int i = 0; i < n; ++i) {
+    HLP_CHECK(static_cast<int>(cost[i].size()) == m, "ragged cost matrix");
+    for (int j = 0; j < m; ++j)
+      a[i][j] = cost[i][j] >= forbidden_cost ? kInf : cost[i][j];
+  }
+  const std::vector<int> match = hungarian_min(a);
+  HLP_REQUIRE(!match.empty(), "min_cost_assignment: no feasible assignment");
+  for (int i = 0; i < n; ++i) {
+    out.match_of_left[i] = match[i];
+    out.total_weight += cost[i][match[i]];
+  }
+  return out;
+}
+
+}  // namespace hlp

@@ -1,0 +1,41 @@
+// Weighted bipartite matching.
+//
+// Both binding algorithms in the paper are built on weighted bipartite
+// matching: register binding (Huang et al. DAC'90), the HLPower functional
+// unit binding (maximum-weight matching per iteration, Algorithm 1), and the
+// LOPASS baseline (minimum-cost assignment per control step).
+//
+// The solver is the O(n^3) Hungarian algorithm (Jonker-Volgenant potential
+// form). Maximum-weight matching with optional non-matching is reduced to a
+// rectangular assignment problem by padding with zero-weight dummy columns.
+#pragma once
+
+#include <vector>
+
+namespace hlp {
+
+/// Result of a bipartite matching. `match_of_left[i]` is the matched right
+/// vertex of left vertex i, or -1 when i is unmatched.
+struct MatchingResult {
+  double total_weight = 0.0;
+  std::vector<int> match_of_left;
+
+  /// Number of matched left vertices.
+  int cardinality() const;
+};
+
+/// Maximum-weight bipartite matching.
+///
+/// `weight[i][j] > 0` is the weight of edge (i, j); `weight[i][j] == 0`
+/// (or negative) means "no edge". Vertices may remain unmatched; because all
+/// real weights are positive the optimum is always a maximal matching.
+MatchingResult max_weight_matching(
+    const std::vector<std::vector<double>>& weight);
+
+/// Minimum-cost assignment: every left vertex must be matched to a distinct
+/// right vertex (requires rows <= cols). `forbidden_cost` marks unusable
+/// edges; throws hlp::Error if no feasible complete assignment exists.
+MatchingResult min_cost_assignment(const std::vector<std::vector<double>>& cost,
+                                   double forbidden_cost);
+
+}  // namespace hlp

@@ -1,0 +1,116 @@
+#include "graph/mincostflow.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MinCostFlow::MinCostFlow(int num_nodes) : head_(num_nodes, -1) {
+  HLP_CHECK(num_nodes > 0, "flow graph needs at least one node");
+}
+
+int MinCostFlow::add_edge(int from, int to, int capacity, double cost) {
+  HLP_CHECK(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
+            "edge endpoints out of range: " << from << "->" << to);
+  HLP_CHECK(capacity >= 0, "negative capacity");
+  const int id = static_cast<int>(edges_.size());
+  edges_.push_back({to, capacity, cost, head_[from]});
+  head_[from] = id;
+  edges_.push_back({from, 0, -cost, head_[to]});
+  head_[to] = id + 1;
+  orig_cap_.push_back(capacity);
+  return id;
+}
+
+MinCostFlow::Result MinCostFlow::solve(int s, int t) {
+  HLP_CHECK(s != t, "source equals sink");
+  const int n = num_nodes();
+  Result result;
+
+  // Bellman-Ford (SPFA) initial potentials handle negative edge costs.
+  std::vector<double> pot(n, 0.0);
+  {
+    std::vector<char> in_queue(n, 0);
+    std::vector<double> dist(n, kInf);
+    std::queue<int> q;
+    dist[s] = 0;
+    q.push(s);
+    in_queue[s] = 1;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      in_queue[u] = 0;
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap <= 0) continue;
+        const int v = edges_[e].to;
+        if (dist[u] + edges_[e].cost < dist[v] - 1e-12) {
+          dist[v] = dist[u] + edges_[e].cost;
+          if (!in_queue[v]) {
+            q.push(v);
+            in_queue[v] = 1;
+          }
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) pot[i] = dist[i] == kInf ? 0.0 : dist[i];
+  }
+
+  for (;;) {
+    // Dijkstra on reduced costs.
+    std::vector<double> dist(n, kInf);
+    std::vector<int> prev_edge(n, -1);
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[s] = 0;
+    pq.push({0.0, s});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u] + 1e-12) continue;
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap <= 0) continue;
+        const int v = edges_[e].to;
+        const double nd = d + edges_[e].cost + pot[u] - pot[v];
+        if (nd < dist[v] - 1e-12) {
+          dist[v] = nd;
+          prev_edge[v] = e;
+          pq.push({nd, v});
+        }
+      }
+    }
+    if (dist[t] == kInf) break;
+    for (int i = 0; i < n; ++i)
+      if (dist[i] < kInf) pot[i] += dist[i];
+
+    // Bottleneck along the path.
+    int push = std::numeric_limits<int>::max();
+    for (int v = t; v != s;) {
+      const int e = prev_edge[v];
+      push = std::min(push, edges_[e].cap);
+      v = edges_[e ^ 1].to;
+    }
+    for (int v = t; v != s;) {
+      const int e = prev_edge[v];
+      edges_[e].cap -= push;
+      edges_[e ^ 1].cap += push;
+      result.cost += push * edges_[e].cost;
+      v = edges_[e ^ 1].to;
+    }
+    result.flow += push;
+  }
+  return result;
+}
+
+int MinCostFlow::flow_on(int id) const {
+  HLP_CHECK(id >= 0 && id / 2 < static_cast<int>(orig_cap_.size()) && id % 2 == 0,
+            "invalid edge id " << id);
+  return orig_cap_[id / 2] - edges_[id].cap;
+}
+
+}  // namespace hlp

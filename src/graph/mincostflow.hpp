@@ -1,0 +1,47 @@
+// Minimum-cost maximum-flow (successive shortest augmenting paths with
+// Johnson potentials).
+//
+// Used by the LOPASS baseline's network-flow binding formulation
+// (Chen & Cong, ASP-DAC 2004) and available as a general substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hlp {
+
+/// Min-cost max-flow on a directed graph with integer capacities and double
+/// costs. Nodes are dense indices [0, n).
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(int num_nodes);
+
+  /// Add a directed edge; returns an edge id usable with flow_on().
+  int add_edge(int from, int to, int capacity, double cost);
+
+  /// Run min-cost max-flow from s to t.
+  /// Returns {max_flow, total_cost}.
+  struct Result {
+    int flow = 0;
+    double cost = 0.0;
+  };
+  Result solve(int s, int t);
+
+  /// Flow pushed through edge `id` after solve().
+  int flow_on(int id) const;
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    int cap;
+    double cost;
+    int next;
+  };
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> orig_cap_;
+};
+
+}  // namespace hlp

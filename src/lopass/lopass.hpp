@@ -1,0 +1,48 @@
+// LOPASS-style baseline functional-unit binder.
+//
+// Reconstruction of the binding stage of LOPASS (Chen, Cong, Fan —
+// ISLPED'03 / TVLSI), the comparison system of the paper's evaluation:
+// a *single-pass* binder that fixes the allocation to the resource
+// constraint and assigns operations to functional units control step by
+// control step with a minimum-cost bipartite assignment (the practical
+// equivalent of the network-flow formulation of Chen & Cong, ASP-DAC'04,
+// which binds all resources simultaneously).
+//
+// LOPASS optimised power with a high-level, *glitch-blind* estimator
+// (pre-characterised FU/mux switching under zero-delay transition
+// propagation) plus interconnect estimation. The assignment cost here is
+// therefore the zero-delay SA estimate of the partial datapath the
+// assignment would grow (muxes + FU, technology mapped) — exactly the
+// estimator quality LOPASS had. What it lacks, by construction, is what
+// HLPower adds: glitch-aware SA and explicit mux balancing (Eq. 4).
+#pragma once
+
+#include <cstdint>
+
+#include "binding/binding.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+struct LopassParams {
+  /// Datapath width used for the glitch-blind partial-datapath power
+  /// estimates (matches the evaluation width).
+  int width = 8;
+  /// Weight of the interconnect term (new mux inputs) relative to the
+  /// estimated power term, mirroring LOPASS's interconnect estimation.
+  double interconnect_weight = 0.05;
+};
+
+/// Bind ops to `rc`-many FUs per kind. Deterministic.
+FuBinding bind_fus_lopass(const Cdfg& g, const Schedule& s,
+                          const RegisterBinding& regs,
+                          const ResourceConstraint& rc,
+                          const LopassParams& params = {});
+
+/// Convenience: registers (shared algorithm) + LOPASS FU binding.
+Binding bind_lopass(const Cdfg& g, const Schedule& s,
+                    const ResourceConstraint& rc,
+                    const LopassParams& params = {},
+                    std::uint64_t reg_seed = 42);
+
+}  // namespace hlp

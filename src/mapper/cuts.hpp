@@ -1,0 +1,62 @@
+// K-feasible cut enumeration (Cong, Wu, Ding — FPGA'99 "cut ranking and
+// pruning"), the substrate of the FPGA technology mapper in GlitchMap [6],
+// which the paper's switching-activity estimator is derived from.
+//
+// A cut of net n is a set of "leaf" nets that together cover every path
+// from the combinational sources to n. Cuts with at most K leaves can be
+// implemented as a single K-input LUT. Enumeration merges fanin cut sets at
+// every gate; per-node cut lists are pruned to a fixed budget, keeping the
+// trivial cut plus the best cuts by (size, depth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/truth_table.hpp"
+
+namespace hlp {
+
+/// A cut: sorted leaf net ids plus a 64-bit subset signature for fast
+/// dominance filtering.
+struct Cut {
+  std::vector<NetId> leaves;
+  std::uint64_t signature = 0;
+  /// Unit-delay depth of the cut's root when this cut is chosen and leaves
+  /// are implemented at their own best depth (filled by enumeration).
+  int depth = 0;
+
+  bool is_trivial(NetId root) const {
+    return leaves.size() == 1 && leaves[0] == root;
+  }
+};
+
+struct CutParams {
+  int k = 4;             // LUT input count (Cyclone II: 4)
+  int max_cuts = 12;     // per-node priority list budget
+};
+
+/// All-node cut sets, indexed by net id. Only gate-driven nets get
+/// non-trivial cuts; sources hold just their trivial cut.
+class CutSet {
+ public:
+  CutSet(const Netlist& n, const CutParams& params);
+
+  const std::vector<Cut>& cuts_of(NetId n) const;
+  const CutParams& params() const { return params_; }
+
+  /// Best (minimum) achievable depth of each net under the cut budget.
+  int best_depth(NetId n) const;
+
+ private:
+  CutParams params_;
+  std::vector<std::vector<Cut>> cuts_;
+  std::vector<int> best_depth_;
+};
+
+/// Truth table of `root` expressed over `leaves` (must be a valid cut of
+/// root with <= kMaxTtInputs leaves). Computed by composing gate functions.
+TruthTable cut_function(const Netlist& n, NetId root,
+                        const std::vector<NetId>& leaves);
+
+}  // namespace hlp

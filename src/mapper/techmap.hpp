@@ -1,0 +1,39 @@
+// K-LUT technology mapping.
+//
+// Reproduces the mapper role of GlitchMap [6]: select one cut per net so the
+// chosen LUTs cover the netlist, then extract the LUT network. Three cut
+// selection modes:
+//   kDepth  — minimise arrival time (classic depth-oriented mapping)
+//   kArea   — area-flow selection with depth tie-break
+//   kGlitchSa — minimise the glitch-aware switching activity of each node's
+//               cut (the paper's estimator, Section 4), with depth tie-break;
+//               this is what HLPower's SA numbers are computed on.
+//
+// The mapped result is itself a Netlist whose gates are K-input LUTs, so
+// timing, simulation and power analysis all run on it unchanged.
+#pragma once
+
+#include "mapper/cuts.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp {
+
+enum class MapMode { kDepth, kArea, kGlitchSa };
+
+struct MapParams {
+  CutParams cuts;
+  MapMode mode = MapMode::kGlitchSa;
+};
+
+/// Result of mapping: the LUT netlist plus summary statistics.
+struct MapResult {
+  Netlist lut_netlist{"mapped"};
+  int num_luts = 0;
+  int depth = 0;  // LUT levels on the critical path
+};
+
+/// Map `n` to K-LUTs. The source netlist may contain latches; latch Q/D
+/// boundaries are preserved (each latch survives into the mapped netlist).
+MapResult tech_map(const Netlist& n, const MapParams& params = {});
+
+}  // namespace hlp

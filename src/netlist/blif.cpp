@@ -1,0 +1,255 @@
+#include "netlist/blif.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hlp {
+
+void BlifLibrary::add(Netlist model) {
+  const std::string name = model.name();
+  models_.insert_or_assign(name, std::move(model));
+}
+
+bool BlifLibrary::contains(const std::string& name) const {
+  return models_.count(name) > 0;
+}
+
+const Netlist& BlifLibrary::get(const std::string& name) const {
+  auto it = models_.find(name);
+  HLP_REQUIRE(it != models_.end(), "model '" << name << "' not in library");
+  return it->second;
+}
+
+void write_blif(const Netlist& n, std::ostream& os) {
+  os << ".model " << n.name() << "\n.inputs";
+  for (NetId i : n.inputs()) os << " " << n.net_name(i);
+  os << "\n.outputs";
+  for (NetId o : n.outputs()) os << " " << n.net_name(o);
+  os << "\n";
+  for (const auto& l : n.latches())
+    os << ".latch " << n.net_name(l.d) << " " << n.net_name(l.q) << " 0\n";
+  for (const auto& g : n.gates()) {
+    os << ".names";
+    for (NetId in : g.ins) os << " " << n.net_name(in);
+    os << " " << n.net_name(g.out) << "\n";
+    for (std::uint32_t m = 0; m < g.tt.num_rows(); ++m) {
+      if (!g.tt.eval(m)) continue;
+      for (int j = 0; j < g.tt.num_inputs(); ++j)
+        os << (((m >> j) & 1u) ? '1' : '0');
+      os << (g.tt.num_inputs() ? " " : "") << "1\n";
+    }
+  }
+  os << ".end\n";
+}
+
+std::string blif_to_string(const Netlist& n) {
+  std::ostringstream oss;
+  write_blif(n, oss);
+  return oss.str();
+}
+
+namespace {
+
+// Expand a cover row like "1-0 1" into minterms of the truth table.
+void apply_cover_row(const std::string& in_bits, bool out_one,
+                     std::vector<char>& on_set) {
+  const int k = static_cast<int>(in_bits.size());
+  std::vector<int> dashes;
+  std::uint32_t base = 0;
+  for (int j = 0; j < k; ++j) {
+    if (in_bits[j] == '1')
+      base |= 1u << j;
+    else if (in_bits[j] == '-')
+      dashes.push_back(j);
+    else
+      HLP_REQUIRE(in_bits[j] == '0', "bad cover character '" << in_bits[j] << "'");
+  }
+  for (std::uint32_t d = 0; d < (1u << dashes.size()); ++d) {
+    std::uint32_t m = base;
+    for (std::size_t b = 0; b < dashes.size(); ++b)
+      if ((d >> b) & 1u) m |= 1u << dashes[b];
+    on_set[m] = out_one ? 1 : 0;
+  }
+}
+
+struct PendingGate {
+  std::vector<std::string> ins;
+  std::string out;
+  std::vector<std::pair<std::string, bool>> cover;  // (input bits, out value)
+};
+
+}  // namespace
+
+Netlist read_blif(std::istream& is, const BlifLibrary& library) {
+  Netlist n;
+  bool saw_model = false;
+  bool done = false;
+  std::vector<std::string> input_names, output_names;
+  std::vector<std::pair<std::string, std::string>> latch_dq;
+  std::vector<PendingGate> pending;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, std::string>>>>
+      subckts;  // model name, (formal, actual) pairs
+
+  // Read logical lines (backslash continuation), strip comments.
+  std::string line, logical;
+  int line_no = 0;
+  int subckt_counter = 0;
+  auto flush_names = [&](const std::vector<std::string>& tok) {
+    PendingGate g;
+    g.out = tok.back();
+    g.ins.assign(tok.begin() + 1, tok.end() - 1);
+    pending.push_back(std::move(g));
+  };
+  while (!done && std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (!line.empty() && line.back() == '\\') {
+      logical += line.substr(0, line.size() - 1) + " ";
+      continue;
+    }
+    logical += line;
+    const auto tok = split_ws(logical);
+    logical.clear();
+    if (tok.empty()) continue;
+
+    if (tok[0] == ".model") {
+      HLP_REQUIRE(tok.size() == 2, "line " << line_no << ": .model <name>");
+      HLP_REQUIRE(!saw_model, "line " << line_no << ": multiple .model");
+      n.set_name(tok[1]);
+      saw_model = true;
+    } else if (tok[0] == ".inputs") {
+      input_names.insert(input_names.end(), tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".outputs") {
+      output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".latch") {
+      HLP_REQUIRE(tok.size() >= 3, "line " << line_no << ": .latch <d> <q> ...");
+      latch_dq.emplace_back(tok[1], tok[2]);
+    } else if (tok[0] == ".names") {
+      HLP_REQUIRE(tok.size() >= 2, "line " << line_no << ": .names needs a net");
+      flush_names(tok);
+    } else if (tok[0] == ".subckt") {
+      HLP_REQUIRE(tok.size() >= 2, "line " << line_no << ": .subckt <model> ...");
+      std::vector<std::pair<std::string, std::string>> binds;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const auto eq = tok[i].find('=');
+        HLP_REQUIRE(eq != std::string::npos,
+                    "line " << line_no << ": bad binding '" << tok[i] << "'");
+        binds.emplace_back(tok[i].substr(0, eq), tok[i].substr(eq + 1));
+      }
+      subckts.emplace_back(tok[1], std::move(binds));
+      ++subckt_counter;
+    } else if (tok[0] == ".search") {
+      // Search paths are satisfied by the pre-registered library; the file
+      // name stem must match a registered model (checked at .subckt time).
+    } else if (tok[0] == ".end") {
+      done = true;
+    } else if (tok[0][0] == '.') {
+      HLP_REQUIRE(false, "line " << line_no << ": unsupported directive '"
+                                 << tok[0] << "'");
+    } else {
+      // Cover row belonging to the most recent .names.
+      HLP_REQUIRE(!pending.empty(), "line " << line_no << ": cover row before .names");
+      auto& g = pending.back();
+      if (g.ins.empty()) {
+        HLP_REQUIRE(tok.size() == 1 && (tok[0] == "0" || tok[0] == "1"),
+                    "line " << line_no << ": constant cover must be 0 or 1");
+        g.cover.emplace_back("", tok[0] == "1");
+      } else {
+        HLP_REQUIRE(tok.size() == 2 && tok[0].size() == g.ins.size(),
+                    "line " << line_no << ": cover arity mismatch");
+        HLP_REQUIRE(tok[1] == "0" || tok[1] == "1",
+                    "line " << line_no << ": cover output must be 0 or 1");
+        g.cover.emplace_back(tok[0], tok[1] == "1");
+      }
+    }
+  }
+  HLP_REQUIRE(saw_model, "missing .model");
+
+  // Create nets: inputs first, then everything referenced.
+  for (const auto& in : input_names) n.add_input(in);
+  auto net_of = [&](const std::string& name) {
+    const NetId existing = n.find_net(name);
+    return existing != kNoNet ? existing : n.add_net(name);
+  };
+
+  for (const auto& [d, q] : latch_dq) {
+    const NetId qd = net_of(q);
+    n.add_latch(qd, net_of(d));
+  }
+
+  for (const auto& g : pending) {
+    HLP_REQUIRE(static_cast<int>(g.ins.size()) <= kMaxTtInputs,
+                ".names with " << g.ins.size() << " inputs exceeds "
+                               << kMaxTtInputs);
+    // Build the on-set. BLIF semantics: rows with output 1 form the on-set;
+    // a cover written in the 0-phase complements.
+    const bool zero_phase = !g.cover.empty() && !g.cover.front().second;
+    std::vector<char> on_set(1u << g.ins.size(), zero_phase ? 1 : 0);
+    for (const auto& [bits, one] : g.cover) {
+      HLP_REQUIRE(one != zero_phase, "mixed-phase covers are not supported");
+      if (g.ins.empty()) {
+        on_set[0] = one ? 1 : 0;
+      } else {
+        apply_cover_row(bits, !zero_phase, on_set);
+      }
+    }
+    if (zero_phase) {
+      // Rows listed were the off-set; on_set currently holds 1 everywhere
+      // except listed rows (apply_cover_row wrote 0 there). Nothing to do.
+    }
+    std::uint64_t bits = 0;
+    for (std::size_t m = 0; m < on_set.size(); ++m)
+      if (on_set[m]) bits |= 1ull << m;
+    std::vector<NetId> ins;
+    ins.reserve(g.ins.size());
+    for (const auto& s : g.ins) ins.push_back(net_of(s));
+    n.add_gate(net_of(g.out), std::move(ins),
+               TruthTable(static_cast<int>(g.ins.size()), bits));
+  }
+
+  int inst = 0;
+  for (const auto& [model_name, binds] : subckts) {
+    const Netlist& model = library.get(model_name);
+    std::unordered_map<std::string, std::string> formal_to_actual;
+    for (const auto& [f, a] : binds) formal_to_actual[f] = a;
+    std::vector<NetId> actuals;
+    actuals.reserve(model.inputs().size());
+    for (NetId mi : model.inputs()) {
+      auto it = formal_to_actual.find(model.net_name(mi));
+      HLP_REQUIRE(it != formal_to_actual.end(),
+                  "subckt " << model_name << ": input '" << model.net_name(mi)
+                            << "' unbound");
+      actuals.push_back(net_of(it->second));
+    }
+    const std::string prefix =
+        model_name + "_i" + std::to_string(inst++) + "_";
+    const auto outs = n.instantiate(model, actuals, prefix);
+    // Connect bound outputs: formal PO name -> actual net via a buffer.
+    for (std::size_t oi = 0; oi < model.outputs().size(); ++oi) {
+      const std::string& formal = model.net_name(model.outputs()[oi]);
+      auto it = formal_to_actual.find(formal);
+      if (it == formal_to_actual.end()) continue;
+      n.add_gate(net_of(it->second), {outs[oi]}, TruthTable::buf());
+    }
+  }
+
+  for (const auto& out : output_names) {
+    const NetId o = n.find_net(out);
+    HLP_REQUIRE(o != kNoNet, "output '" << out << "' never driven");
+    n.add_output(o);
+  }
+  n.validate();
+  return n;
+}
+
+Netlist blif_from_string(const std::string& text, const BlifLibrary& library) {
+  std::istringstream iss(text);
+  return read_blif(iss, library);
+}
+
+}  // namespace hlp

@@ -1,0 +1,44 @@
+// BLIF (Berkeley Logic Interchange Format) reader / writer.
+//
+// The paper's partial-datapath netlists (Figure 2) are generated in .blif:
+// a new model with proper I/O ports, `.search` of the component models, and
+// `.subckt` instantiations of the multiplexers and the functional unit.
+// This module implements that machinery: `.model/.inputs/.outputs/.names/
+// .latch/.subckt/.search/.end`, with subcircuits flattened against a model
+// library at read time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/netlist.hpp"
+
+namespace hlp {
+
+/// Library of named models available to `.subckt` / `.search` resolution.
+class BlifLibrary {
+ public:
+  /// Register a model under its netlist name (replaces any existing entry).
+  void add(Netlist model);
+  bool contains(const std::string& name) const;
+  const Netlist& get(const std::string& name) const;
+  std::size_t size() const { return models_.size(); }
+
+ private:
+  std::unordered_map<std::string, Netlist> models_;
+};
+
+/// Write a netlist as BLIF. Gate covers are emitted as minterm lists.
+void write_blif(const Netlist& n, std::ostream& os);
+std::string blif_to_string(const Netlist& n);
+
+/// Parse BLIF. `.subckt` references are flattened using `library`;
+/// `.search <file>` lines require models to be pre-registered under the
+/// file's model name (no filesystem access — the library *is* the search
+/// path). Throws hlp::Error on malformed input or unknown models.
+Netlist read_blif(std::istream& is, const BlifLibrary& library = {});
+Netlist blif_from_string(const std::string& text,
+                         const BlifLibrary& library = {});
+
+}  // namespace hlp

@@ -1,0 +1,148 @@
+#include "netlist/modules.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hlp {
+namespace {
+
+std::string bit(const std::string& base, int i) {
+  return base + std::to_string(i);
+}
+
+// Appends a ripple-carry add of nets a and b (equal widths) into `n`,
+// returning the sum nets (modulo 2^w). `tag` uniquifies internal names.
+std::vector<NetId> build_ripple_add(Netlist& n, const std::vector<NetId>& a,
+                                    const std::vector<NetId>& b,
+                                    const std::string& tag) {
+  HLP_CHECK(a.size() == b.size() && !a.empty(), "ripple add width mismatch");
+  const int w = static_cast<int>(a.size());
+  std::vector<NetId> sum(w);
+  NetId carry = kNoNet;
+  for (int i = 0; i < w; ++i) {
+    const std::string s = tag + "_s" + std::to_string(i);
+    const std::string c = tag + "_c" + std::to_string(i);
+    if (i == 0) {
+      sum[i] = n.add_gate_net(s, {a[i], b[i]}, TruthTable::xor2());
+      if (w > 1) carry = n.add_gate_net(c, {a[i], b[i]}, TruthTable::and2());
+    } else {
+      sum[i] = n.add_gate_net(s, {a[i], b[i], carry}, TruthTable::xor3());
+      if (i + 1 < w)
+        carry = n.add_gate_net(c, {a[i], b[i], carry}, TruthTable::maj3());
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int mux_select_bits(int n_inputs) {
+  HLP_CHECK(n_inputs >= 1, "mux needs at least one input");
+  int bits = 0;
+  while ((1 << bits) < n_inputs) ++bits;
+  return bits;
+}
+
+std::string adder_name(int width) { return "add" + std::to_string(width); }
+std::string multiplier_name(int width) { return "mult" + std::to_string(width); }
+std::string mux_name(int n_inputs, int width) {
+  return "mux" + std::to_string(n_inputs) + "x" + std::to_string(width);
+}
+std::string register_name(int width) { return "reg" + std::to_string(width); }
+
+Netlist make_adder(int width) {
+  HLP_REQUIRE(width >= 1, "adder width must be >= 1");
+  Netlist n(adder_name(width));
+  std::vector<NetId> a(width), b(width);
+  for (int i = 0; i < width; ++i) a[i] = n.add_input(bit("a", i));
+  for (int i = 0; i < width; ++i) b[i] = n.add_input(bit("b", i));
+  const auto sum = build_ripple_add(n, a, b, "fa");
+  // Expose sums under canonical names via buffers (keeps internal tags
+  // separate from the port contract).
+  for (int i = 0; i < width; ++i)
+    n.add_output(n.add_gate_net(bit("s", i), {sum[i]}, TruthTable::buf()));
+  n.validate();
+  return n;
+}
+
+Netlist make_multiplier(int width) {
+  HLP_REQUIRE(width >= 1, "multiplier width must be >= 1");
+  Netlist n(multiplier_name(width));
+  std::vector<NetId> a(width), b(width);
+  for (int i = 0; i < width; ++i) a[i] = n.add_input(bit("a", i));
+  for (int i = 0; i < width; ++i) b[i] = n.add_input(bit("b", i));
+
+  // Partial-product row i contributes (a & b_i) << i; only the low `width`
+  // bits of the final product are kept, so row i only needs bits
+  // [i, width). Accumulate rows with ripple adders.
+  auto pp = [&](int i, int j) {  // a_j & b_i
+    return n.add_gate_net("pp" + std::to_string(i) + "_" + std::to_string(j),
+                          {a[j], b[i]}, TruthTable::and2());
+  };
+  // acc holds product bits [0, width); start with row 0.
+  std::vector<NetId> acc(width);
+  for (int j = 0; j < width; ++j) acc[j] = pp(0, j);
+  for (int i = 1; i < width; ++i) {
+    // Add row i (width - i meaningful bits) into acc[i..width).
+    std::vector<NetId> hi(acc.begin() + i, acc.end());
+    std::vector<NetId> row;
+    row.reserve(width - i);
+    for (int j = 0; j + i < width; ++j) row.push_back(pp(i, j));
+    const auto sum = build_ripple_add(n, hi, row, "r" + std::to_string(i));
+    for (int j = 0; j + i < width; ++j) acc[i + j] = sum[j];
+  }
+  for (int i = 0; i < width; ++i)
+    n.add_output(n.add_gate_net(bit("s", i), {acc[i]}, TruthTable::buf()));
+  n.validate();
+  return n;
+}
+
+Netlist make_mux(int n_inputs, int width) {
+  HLP_REQUIRE(n_inputs >= 1, "mux needs at least one data input");
+  HLP_REQUIRE(width >= 1, "mux width must be >= 1");
+  Netlist n(mux_name(n_inputs, width));
+  std::vector<std::vector<NetId>> d(n_inputs, std::vector<NetId>(width));
+  for (int i = 0; i < n_inputs; ++i)
+    for (int j = 0; j < width; ++j)
+      d[i][j] = n.add_input("d" + std::to_string(i) + "_" + std::to_string(j));
+  const int sbits = mux_select_bits(n_inputs);
+  std::vector<NetId> sel(sbits);
+  for (int s = 0; s < sbits; ++s) sel[s] = n.add_input(bit("sel", s));
+
+  // Balanced tree over the index range [lo, lo+count): select bit `level`
+  // chooses between the lower half (0) and upper half (1). When the upper
+  // half is empty the lower result passes through.
+  int name_ctr = 0;
+  auto tree = [&](auto&& self, int lo, int count, int level, int j) -> NetId {
+    if (count == 1) return d[lo][j];
+    const int half = 1 << (level - 1);
+    const NetId low = self(self, lo, std::min(count, half), level - 1, j);
+    if (count <= half) return low;
+    const NetId high = self(self, lo + half, count - half, level - 1, j);
+    return n.add_gate_net("m" + std::to_string(name_ctr++),
+                          {low, high, sel[level - 1]}, TruthTable::mux2());
+  };
+  for (int j = 0; j < width; ++j) {
+    const NetId y = tree(tree, 0, n_inputs, sbits, j);
+    n.add_output(n.add_gate_net(bit("y", j), {y}, TruthTable::buf()));
+  }
+  n.validate();
+  return n;
+}
+
+Netlist make_register(int width) {
+  HLP_REQUIRE(width >= 1, "register width must be >= 1");
+  Netlist n(register_name(width));
+  for (int i = 0; i < width; ++i) {
+    const NetId d = n.add_input(bit("d", i));
+    const NetId q = n.add_net(bit("q", i));
+    n.add_latch(q, d);
+    n.add_output(q);
+  }
+  n.validate();
+  return n;
+}
+
+}  // namespace hlp

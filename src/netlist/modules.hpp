@@ -1,0 +1,44 @@
+// Gate-level generators for the resource library (Section 3: "a resource
+// library containing single-cycle resources, including a multiplier, an
+// adder, a register, and multiplexers").
+//
+// All modules follow a canonical port order so instantiation by position is
+// unambiguous:
+//   adder / multiplier:  inputs  a0..a{w-1}, b0..b{w-1}; outputs s0..s{w-1}
+//   mux(n, w):           inputs  d0_0..d0_{w-1}, ..., d{n-1}_*, sel0..sel{S-1};
+//                        outputs y0..y{w-1}   (S = ceil(log2 n), 0 for n = 1)
+//   register:            inputs  d0..d{w-1}; outputs q0..q{w-1} (latched)
+//
+// Adders are ripple-carry (XOR3/MAJ3 full adders); multipliers are unsigned
+// shift-add arrays producing the low w bits; multiplexers are balanced
+// 2:1-mux trees — the structure whose input-size *imbalance* creates the
+// unequal path delays the paper's muxDiff term targets.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace hlp {
+
+/// w-bit ripple-carry adder (modulo 2^w).
+Netlist make_adder(int width);
+
+/// w-bit unsigned array multiplier, low word.
+Netlist make_multiplier(int width);
+
+/// n-way, w-bit-wide multiplexer as a balanced 2:1 tree. n >= 1; n == 1 is
+/// a pass-through (no select inputs).
+Netlist make_mux(int n_inputs, int width);
+
+/// w-bit register (one latch per bit).
+Netlist make_register(int width);
+
+/// Number of select bits a n-way mux uses.
+int mux_select_bits(int n_inputs);
+
+/// Canonical library model name, e.g. "add8", "mult8", "mux4x8", "reg8".
+std::string adder_name(int width);
+std::string multiplier_name(int width);
+std::string mux_name(int n_inputs, int width);
+std::string register_name(int width);
+
+}  // namespace hlp

@@ -1,0 +1,189 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+NetId Netlist::add_net(std::string name) {
+  HLP_REQUIRE(!name.empty(), "net name must be non-empty");
+  HLP_REQUIRE(!net_by_name_.count(name), "duplicate net '" << name << "'");
+  const NetId id = num_nets();
+  net_by_name_.emplace(name, id);
+  net_names_.push_back(std::move(name));
+  driver_gate_of_net_.push_back(-1);
+  is_input_net_.push_back(0);
+  is_latch_q_.push_back(0);
+  return id;
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = add_net(std::move(name));
+  is_input_net_[id] = 1;
+  inputs_.push_back(id);
+  return id;
+}
+
+void Netlist::add_output(NetId net) {
+  HLP_CHECK(net >= 0 && net < num_nets(), "output net out of range");
+  outputs_.push_back(net);
+}
+
+void Netlist::add_gate(NetId out, std::vector<NetId> ins, TruthTable tt) {
+  HLP_CHECK(out >= 0 && out < num_nets(), "gate output net out of range");
+  HLP_CHECK(!is_input_net_[out] && !is_latch_q_[out] &&
+                driver_gate_of_net_[out] < 0,
+            "net '" << net_name(out) << "' already driven");
+  HLP_CHECK(static_cast<int>(ins.size()) == tt.num_inputs(),
+            "gate fanin count " << ins.size() << " != truth table inputs "
+                                << tt.num_inputs());
+  for (NetId n : ins)
+    HLP_CHECK(n >= 0 && n < num_nets(), "gate input net out of range");
+  driver_gate_of_net_[out] = num_gates();
+  gates_.push_back({out, std::move(ins), tt});
+}
+
+void Netlist::add_latch(NetId q, NetId d) {
+  HLP_CHECK(q >= 0 && q < num_nets() && d >= 0 && d < num_nets(),
+            "latch nets out of range");
+  HLP_CHECK(!is_input_net_[q] && !is_latch_q_[q] && driver_gate_of_net_[q] < 0,
+            "net '" << net_name(q) << "' already driven");
+  is_latch_q_[q] = 1;
+  latches_.push_back({q, d});
+}
+
+NetId Netlist::add_gate_net(std::string name, std::vector<NetId> ins,
+                            TruthTable tt) {
+  const NetId out = add_net(std::move(name));
+  add_gate(out, std::move(ins), tt);
+  return out;
+}
+
+const std::string& Netlist::net_name(NetId n) const {
+  HLP_CHECK(n >= 0 && n < num_nets(), "net id " << n << " out of range");
+  return net_names_[n];
+}
+
+NetId Netlist::find_net(const std::string& name) const {
+  auto it = net_by_name_.find(name);
+  return it == net_by_name_.end() ? kNoNet : it->second;
+}
+
+int Netlist::driver_gate(NetId n) const {
+  HLP_CHECK(n >= 0 && n < num_nets(), "net id out of range");
+  return driver_gate_of_net_[n];
+}
+
+bool Netlist::is_input(NetId n) const {
+  HLP_CHECK(n >= 0 && n < num_nets(), "net id out of range");
+  return is_input_net_[n];
+}
+
+bool Netlist::is_latch_output(NetId n) const {
+  HLP_CHECK(n >= 0 && n < num_nets(), "net id out of range");
+  return is_latch_q_[n];
+}
+
+std::vector<int> Netlist::topo_gates() const {
+  // Kahn's algorithm over gate-to-gate dependencies.
+  std::vector<int> pending(num_gates(), 0);
+  std::vector<std::vector<int>> dependents(num_gates());
+  for (int gi = 0; gi < num_gates(); ++gi) {
+    for (NetId in : gates_[gi].ins) {
+      const int d = driver_gate_of_net_[in];
+      if (d >= 0) {
+        ++pending[gi];
+        dependents[d].push_back(gi);
+      }
+    }
+  }
+  std::vector<int> order;
+  order.reserve(num_gates());
+  std::vector<int> ready;
+  for (int gi = 0; gi < num_gates(); ++gi)
+    if (pending[gi] == 0) ready.push_back(gi);
+  while (!ready.empty()) {
+    const int gi = ready.back();
+    ready.pop_back();
+    order.push_back(gi);
+    for (int dep : dependents[gi])
+      if (--pending[dep] == 0) ready.push_back(dep);
+  }
+  HLP_CHECK(static_cast<int>(order.size()) == num_gates(),
+            "combinational cycle detected (" << order.size() << " of "
+                                             << num_gates() << " gates sorted)");
+  return order;
+}
+
+std::vector<int> Netlist::fanout_counts() const {
+  std::vector<int> fo(num_nets(), 0);
+  for (const auto& g : gates_)
+    for (NetId in : g.ins) ++fo[in];
+  for (const auto& l : latches_) ++fo[l.d];
+  for (NetId o : outputs_) ++fo[o];
+  return fo;
+}
+
+std::vector<int> Netlist::net_levels() const {
+  std::vector<int> level(num_nets(), 0);
+  for (int gi : topo_gates()) {
+    const auto& g = gates_[gi];
+    int lv = 0;
+    for (NetId in : g.ins) lv = std::max(lv, level[in]);
+    level[g.out] = lv + 1;
+  }
+  return level;
+}
+
+int Netlist::depth() const {
+  const auto lv = net_levels();
+  return lv.empty() ? 0 : *std::max_element(lv.begin(), lv.end());
+}
+
+void Netlist::validate() const {
+  for (int n = 0; n < num_nets(); ++n) {
+    const bool driven =
+        is_input_net_[n] || is_latch_q_[n] || driver_gate_of_net_[n] >= 0;
+    HLP_CHECK(driven, "net '" << net_names_[n] << "' has no driver");
+  }
+  for (NetId o : outputs_)
+    HLP_CHECK(o >= 0 && o < num_nets(), "dangling primary output");
+  for (const auto& l : latches_)
+    HLP_CHECK(l.d >= 0 && l.d < num_nets(), "dangling latch D");
+  topo_gates();  // throws on combinational cycles
+}
+
+std::vector<NetId> Netlist::instantiate(const Netlist& module,
+                                        const std::vector<NetId>& actual_inputs,
+                                        const std::string& prefix) {
+  HLP_REQUIRE(actual_inputs.size() == module.inputs().size(),
+              "instantiate: module '" << module.name() << "' has "
+                                      << module.inputs().size()
+                                      << " inputs, got "
+                                      << actual_inputs.size());
+  // Map every module net to a parent net; PIs map to the provided actuals,
+  // everything else gets a fresh prefixed net.
+  std::vector<NetId> net_map(module.num_nets(), kNoNet);
+  for (std::size_t i = 0; i < actual_inputs.size(); ++i) {
+    HLP_CHECK(actual_inputs[i] >= 0 && actual_inputs[i] < num_nets(),
+              "instantiate: actual input net out of range");
+    net_map[module.inputs()[i]] = actual_inputs[i];
+  }
+  for (NetId n = 0; n < module.num_nets(); ++n)
+    if (net_map[n] == kNoNet)
+      net_map[n] = add_net(prefix + module.net_name(n));
+  for (const auto& l : module.latches()) add_latch(net_map[l.q], net_map[l.d]);
+  for (const auto& g : module.gates()) {
+    std::vector<NetId> ins;
+    ins.reserve(g.ins.size());
+    for (NetId in : g.ins) ins.push_back(net_map[in]);
+    add_gate(net_map[g.out], std::move(ins), g.tt);
+  }
+  std::vector<NetId> outs;
+  outs.reserve(module.outputs().size());
+  for (NetId o : module.outputs()) outs.push_back(net_map[o]);
+  return outs;
+}
+
+}  // namespace hlp

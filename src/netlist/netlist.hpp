@@ -1,0 +1,119 @@
+// Gate-level netlist.
+//
+// This is the representation shared by the module generators (adders,
+// multipliers, multiplexers), the BLIF reader/writer, the technology mapper
+// (whose output is again a Netlist whose gates are K-LUTs), the glitch-aware
+// switching-activity estimator, and the unit-delay simulator.
+//
+// Structure: a set of named nets; each net is driven by exactly one of
+//   - a primary input,
+//   - a gate (combinational, truth-table function, <= 6 inputs),
+//   - a latch output (Q of an edge-triggered register bit).
+// Primary outputs and latch D pins reference nets. The combinational part
+// must be acyclic (validated).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/truth_table.hpp"
+
+namespace hlp {
+
+using NetId = int;
+inline constexpr NetId kNoNet = -1;
+
+/// Combinational gate: out = tt(ins...). Input i of the truth table is
+/// ins[i].
+struct Gate {
+  NetId out = kNoNet;
+  std::vector<NetId> ins;
+  TruthTable tt;
+};
+
+/// One register bit: q takes the value of d at each clock edge; initial 0.
+struct Latch {
+  NetId q = kNoNet;
+  NetId d = kNoNet;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // --- construction ------------------------------------------------------
+  /// New undriven net. Names must be unique and non-empty.
+  NetId add_net(std::string name);
+  /// New net driven as a primary input.
+  NetId add_input(std::string name);
+  /// Mark an existing net as a primary output.
+  void add_output(NetId net);
+  /// New gate driving `out` (net must currently be undriven).
+  void add_gate(NetId out, std::vector<NetId> ins, TruthTable tt);
+  /// New latch driving `q` from `d`.
+  void add_latch(NetId q, NetId d);
+  /// Convenience: create the output net and the gate in one call.
+  NetId add_gate_net(std::string name, std::vector<NetId> ins, TruthTable tt);
+
+  // --- observers ---------------------------------------------------------
+  int num_nets() const { return static_cast<int>(net_names_.size()); }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+  int num_latches() const { return static_cast<int>(latches_.size()); }
+  const std::string& net_name(NetId n) const;
+  NetId find_net(const std::string& name) const;  // kNoNet if absent
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<Latch>& latches() const { return latches_; }
+
+  /// Index of the gate driving `n`, or -1 when n is a PI / latch Q / undriven.
+  int driver_gate(NetId n) const;
+  bool is_input(NetId n) const;
+  /// True when n is a latch Q output.
+  bool is_latch_output(NetId n) const;
+  /// True for PI or latch-Q: a source of the combinational network.
+  bool is_comb_source(NetId n) const { return is_input(n) || is_latch_output(n); }
+
+  /// Gate indices in topological order (fanins before fanouts).
+  /// Throws hlp::Error on a combinational cycle.
+  std::vector<int> topo_gates() const;
+
+  /// Gate fanout counts per net (consumers among gates + latch D + PO).
+  std::vector<int> fanout_counts() const;
+
+  /// Unit-delay level per net: sources at 0, gate output = 1 + max(fanins).
+  std::vector<int> net_levels() const;
+  /// Maximum net level (logic depth in gate/LUT levels).
+  int depth() const;
+
+  /// Structural checks: unique single drivers, acyclic, all gate inputs and
+  /// PO/latch references valid, every non-source net driven.
+  void validate() const;
+
+  /// Instantiate `module` inside this netlist: module PIs are bound to
+  /// `actual_inputs` (same order/size as module.inputs()); all internal nets
+  /// are created with `prefix` prepended; module latches are copied; returns
+  /// the nets bound to the module's POs in order. This is the BLIF
+  /// `.subckt` mechanism of Figure 2.
+  std::vector<NetId> instantiate(const Netlist& module,
+                                 const std::vector<NetId>& actual_inputs,
+                                 const std::string& prefix);
+
+ private:
+  std::string name_;
+  std::vector<std::string> net_names_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::vector<int> driver_gate_of_net_;   // -1 when not gate-driven
+  std::vector<char> is_input_net_;
+  std::vector<char> is_latch_q_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<Gate> gates_;
+  std::vector<Latch> latches_;
+};
+
+}  // namespace hlp

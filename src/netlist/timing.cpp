@@ -1,0 +1,12 @@
+#include "netlist/timing.hpp"
+
+namespace hlp {
+
+int logic_depth(const Netlist& n) { return n.depth(); }
+
+double clock_period_ns(const Netlist& n, const TimingModel& model) {
+  const int d = logic_depth(n);
+  return d * (model.lut_delay_ns + model.net_delay_ns) + model.reg_overhead_ns;
+}
+
+}  // namespace hlp

@@ -1,0 +1,83 @@
+#include "netlist/truth_table.hpp"
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+TruthTable::TruthTable(int num_inputs, std::uint64_t bits)
+    : num_inputs_(num_inputs) {
+  HLP_CHECK(num_inputs >= 0 && num_inputs <= kMaxTtInputs,
+            "truth table supports 0.." << kMaxTtInputs << " inputs, got "
+                                       << num_inputs);
+  const std::uint64_t mask =
+      num_inputs == 6 ? ~0ull : ((1ull << (1u << num_inputs)) - 1ull);
+  bits_ = bits & mask;
+}
+
+bool TruthTable::eval(std::uint32_t minterm) const {
+  HLP_CHECK(minterm < num_rows(), "minterm " << minterm << " out of range");
+  return (bits_ >> minterm) & 1ull;
+}
+
+bool TruthTable::depends_on(int j) const {
+  HLP_CHECK(j >= 0 && j < num_inputs_, "input index out of range");
+  for (std::uint32_t m = 0; m < num_rows(); ++m) {
+    if ((m >> j) & 1u) continue;
+    if (eval(m) != eval(m | (1u << j))) return true;
+  }
+  return false;
+}
+
+TruthTable TruthTable::compress(std::uint32_t* kept_mask) const {
+  std::uint32_t mask = 0;
+  int kept = 0;
+  int pos[kMaxTtInputs] = {};
+  for (int j = 0; j < num_inputs_; ++j) {
+    if (depends_on(j)) {
+      mask |= 1u << j;
+      pos[kept++] = j;
+    }
+  }
+  std::uint64_t out_bits = 0;
+  for (std::uint32_t m = 0; m < (1u << kept); ++m) {
+    std::uint32_t full = 0;
+    for (int j = 0; j < kept; ++j)
+      if ((m >> j) & 1u) full |= 1u << pos[j];
+    if (eval(full)) out_bits |= 1ull << m;
+  }
+  if (kept_mask) *kept_mask = mask;
+  return TruthTable(kept, out_bits);
+}
+
+std::string TruthTable::to_string() const {
+  std::string s(num_rows(), '0');
+  for (std::uint32_t m = 0; m < num_rows(); ++m)
+    if (eval(m)) s[m] = '1';
+  return s;
+}
+
+TruthTable TruthTable::xor3() {
+  std::uint64_t bits = 0;
+  for (std::uint32_t m = 0; m < 8; ++m)
+    if (__builtin_popcount(m) & 1) bits |= 1ull << m;
+  return {3, bits};
+}
+
+TruthTable TruthTable::maj3() {
+  std::uint64_t bits = 0;
+  for (std::uint32_t m = 0; m < 8; ++m)
+    if (__builtin_popcount(m) >= 2) bits |= 1ull << m;
+  return {3, bits};
+}
+
+TruthTable TruthTable::mux2() {
+  // inputs: 0=a, 1=b, 2=s; out = s ? b : a.
+  std::uint64_t bits = 0;
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    const bool a = m & 1u, b = m & 2u, s = m & 4u;
+    if (s ? b : a) bits |= 1ull << m;
+  }
+  return {3, bits};
+}
+
+}  // namespace hlp

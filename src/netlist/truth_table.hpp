@@ -1,0 +1,68 @@
+// Small truth tables (up to 6 inputs) packed into a 64-bit word.
+//
+// Gates in the gate-level netlist and LUTs in the mapped netlist both carry
+// their logic function as a TruthTable. Bit `i` of the word is the output
+// for the input assignment whose bit `j` is ((i >> j) & 1) — input 0 is the
+// least significant position.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hlp {
+
+/// Maximum supported fanin of a gate / LUT.
+inline constexpr int kMaxTtInputs = 6;
+
+class TruthTable {
+ public:
+  TruthTable() = default;
+
+  /// Construct from raw bits; only the low 2^num_inputs bits are kept.
+  TruthTable(int num_inputs, std::uint64_t bits);
+
+  int num_inputs() const { return num_inputs_; }
+  std::uint64_t bits() const { return bits_; }
+
+  /// Output for the input assignment `minterm` (bit j = input j).
+  bool eval(std::uint32_t minterm) const;
+
+  /// Number of input assignments (2^num_inputs).
+  std::uint32_t num_rows() const { return 1u << num_inputs_; }
+
+  /// True when the function actually depends on input `j`.
+  bool depends_on(int j) const;
+
+  /// Returns an equivalent table with unused inputs removed, plus the kept
+  /// original input positions via `kept` (ascending).
+  TruthTable compress(std::uint32_t* kept_mask = nullptr) const;
+
+  /// "0110..." string, row 0 first (debugging / golden tests).
+  std::string to_string() const;
+
+  friend bool operator==(const TruthTable&, const TruthTable&) = default;
+
+  // --- Common gate functions -------------------------------------------
+  static TruthTable const0() { return {0, 0u}; }
+  static TruthTable const1() { return {0, 1u}; }
+  static TruthTable buf() { return {1, 0b10u}; }
+  static TruthTable not1() { return {1, 0b01u}; }
+  static TruthTable and2() { return {2, 0b1000u}; }
+  static TruthTable or2() { return {2, 0b1110u}; }
+  static TruthTable xor2() { return {2, 0b0110u}; }
+  static TruthTable nand2() { return {2, 0b0111u}; }
+  static TruthTable nor2() { return {2, 0b0001u}; }
+  static TruthTable xnor2() { return {2, 0b1001u}; }
+  /// Full-adder sum: a ^ b ^ c (inputs 0,1,2).
+  static TruthTable xor3();
+  /// Full-adder carry: majority(a, b, c).
+  static TruthTable maj3();
+  /// 2:1 mux: input 2 is the select, output = s ? b : a (a=in0, b=in1).
+  static TruthTable mux2();
+
+ private:
+  int num_inputs_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace hlp

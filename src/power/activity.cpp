@@ -1,0 +1,120 @@
+#include "power/activity.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "power/probability.hpp"
+
+namespace hlp {
+
+double TimedSignal::activity_at(int t) const {
+  for (const auto& [time, a] : acts)
+    if (time == t) return a;
+  return 0.0;
+}
+
+double TimedSignal::total_activity() const {
+  double s = 0.0;
+  for (const auto& [time, a] : acts) s += a;
+  return s;
+}
+
+double TimedSignal::glitch_activity() const {
+  return total_activity() - activity_at(functional_time);
+}
+
+int TimedSignal::last_time() const {
+  return acts.empty() ? 0 : acts.back().first;
+}
+
+TimedSignal TimedSignal::source(double prob, double activity) {
+  TimedSignal s;
+  s.prob = prob;
+  s.functional_time = 0;
+  if (activity > 0.0) s.acts = {{0, activity}};
+  return s;
+}
+
+TimedSignal propagate_lut(const TruthTable& tt,
+                          const std::vector<const TimedSignal*>& leaves) {
+  HLP_CHECK(static_cast<int>(leaves.size()) == tt.num_inputs(),
+            "leaf count " << leaves.size() << " != LUT inputs "
+                          << tt.num_inputs());
+  const int k = tt.num_inputs();
+  TimedSignal out;
+
+  std::vector<double> p_in(k);
+  for (int j = 0; j < k; ++j) p_in[j] = leaves[j]->prob;
+  out.prob = lut_probability(tt, p_in);
+
+  // Functional arrival: one unit after the slowest functional leaf arrival.
+  int f = 0;
+  for (const auto* l : leaves) f = std::max(f, l->functional_time);
+  out.functional_time = f + 1;
+
+  // Union of leaf transition times; output transitions one unit later.
+  std::set<int> times;
+  for (const auto* l : leaves)
+    for (const auto& [t, a] : l->acts)
+      if (a > 0.0) times.insert(t);
+
+  std::vector<double> act_in(k);
+  for (int t : times) {
+    for (int j = 0; j < k; ++j) act_in[j] = leaves[j]->activity_at(t);
+    const double s = lut_switching_activity(tt, p_in, act_in);
+    if (s > 0.0) out.acts.emplace_back(t + 1, s);
+  }
+  return out;
+}
+
+namespace {
+
+ActivityResult estimate_impl(const Netlist& n, bool zero_delay) {
+  ActivityResult r;
+  r.signals.assign(n.num_nets(), TimedSignal{});
+  for (NetId net = 0; net < n.num_nets(); ++net)
+    if (n.is_comb_source(net)) r.signals[net] = TimedSignal::source();
+
+  for (int gi : n.topo_gates()) {
+    const Gate& g = n.gates()[gi];
+    std::vector<const TimedSignal*> leaves;
+    leaves.reserve(g.ins.size());
+    for (NetId in : g.ins) leaves.push_back(&r.signals[in]);
+    TimedSignal sig = propagate_lut(g.tt, leaves);
+    if (zero_delay) {
+      // Collapse the waveform to the functional transition: a single event
+      // whose activity is the Chou-Roy value with all leaves switching
+      // together (classic transition-density propagation).
+      std::vector<double> p_in(g.ins.size()), act_in(g.ins.size());
+      for (std::size_t j = 0; j < g.ins.size(); ++j) {
+        p_in[j] = r.signals[g.ins[j]].prob;
+        act_in[j] = r.signals[g.ins[j]].total_activity();
+      }
+      const double s = lut_switching_activity(g.tt, p_in, act_in);
+      sig.acts.clear();
+      if (s > 0.0) sig.acts = {{sig.functional_time, s}};
+    }
+    r.signals[g.out] = std::move(sig);
+  }
+
+  for (int gi : n.topo_gates()) {
+    const TimedSignal& s = r.signals[n.gates()[gi].out];
+    r.total_sa += s.total_activity();
+    r.functional_sa += s.activity_at(s.functional_time);
+    r.glitch_sa += s.glitch_activity();
+  }
+  return r;
+}
+
+}  // namespace
+
+ActivityResult estimate_activity(const Netlist& n) {
+  return estimate_impl(n, /*zero_delay=*/false);
+}
+
+ActivityResult estimate_activity_zero_delay(const Netlist& n) {
+  return estimate_impl(n, /*zero_delay=*/true);
+}
+
+}  // namespace hlp

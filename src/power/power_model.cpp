@@ -1,0 +1,48 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+PowerReport power_from_toggles(const Netlist& n,
+                               const std::vector<std::uint64_t>& toggles,
+                               std::uint64_t num_cycles,
+                               double clock_period_ns,
+                               double functional_transitions_per_cycle,
+                               const PowerParams& params) {
+  HLP_REQUIRE(toggles.size() == static_cast<std::size_t>(n.num_nets()),
+              "toggle vector size mismatch");
+  HLP_REQUIRE(num_cycles > 0, "no simulated cycles");
+  HLP_REQUIRE(clock_period_ns > 0, "non-positive clock period");
+
+  PowerReport r;
+  r.clock_period_ns = clock_period_ns;
+  r.num_luts = n.num_gates();
+  r.num_registers = n.num_latches();
+
+  const auto fanout = n.fanout_counts();
+  const double seconds = static_cast<double>(num_cycles) * clock_period_ns * 1e-9;
+  double total_transitions = 0.0;
+  double power_w = 0.0;
+  for (NetId net = 0; net < n.num_nets(); ++net) {
+    const double c_pf =
+        params.c_base_pf + params.c_fanout_pf * static_cast<double>(fanout[net]);
+    const double rate = static_cast<double>(toggles[net]) / seconds;  // 1/s
+    power_w += 0.5 * c_pf * 1e-12 * params.vdd * params.vdd * rate;
+    total_transitions += static_cast<double>(toggles[net]);
+  }
+  r.dynamic_power_mw = power_w * 1e3 +
+                       params.clock_tree_mw_per_reg * r.num_registers;
+  r.transitions_per_cycle = total_transitions / static_cast<double>(num_cycles);
+  r.toggle_rate_mps = total_transitions / seconds / 1e6;
+  const double func = std::max(0.0, functional_transitions_per_cycle);
+  r.glitch_fraction =
+      r.transitions_per_cycle > 0.0
+          ? std::max(0.0, 1.0 - func / r.transitions_per_cycle)
+          : 0.0;
+  return r;
+}
+
+}  // namespace hlp

@@ -1,0 +1,105 @@
+#include "power/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hlp {
+namespace {
+
+// Clamp probabilities away from impossible values produced by float error.
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+double lut_probability(const TruthTable& tt, const std::vector<double>& p_in) {
+  HLP_CHECK(static_cast<int>(p_in.size()) == tt.num_inputs(),
+            "probability vector size mismatch");
+  double p = 0.0;
+  for (std::uint32_t m = 0; m < tt.num_rows(); ++m) {
+    if (!tt.eval(m)) continue;
+    double term = 1.0;
+    for (int j = 0; j < tt.num_inputs(); ++j)
+      term *= ((m >> j) & 1u) ? p_in[j] : 1.0 - p_in[j];
+    p += term;
+  }
+  return clamp01(p);
+}
+
+double lut_joint_prob(const TruthTable& tt, const std::vector<double>& p_in,
+                      const std::vector<double>& act_in) {
+  const int k = tt.num_inputs();
+  HLP_CHECK(static_cast<int>(p_in.size()) == k &&
+                static_cast<int>(act_in.size()) == k,
+            "joint probability input size mismatch");
+  // Per-input joint pair distribution (value at t, value at t+T).
+  struct Pair {
+    double p00, p01, p10, p11;
+  };
+  std::vector<Pair> joint(k);
+  for (int j = 0; j < k; ++j) {
+    const double a = std::min(act_in[j], 2.0 * std::min(p_in[j], 1.0 - p_in[j]));
+    joint[j].p11 = clamp01(p_in[j] - a / 2.0);
+    joint[j].p00 = clamp01(1.0 - p_in[j] - a / 2.0);
+    joint[j].p01 = a / 2.0;
+    joint[j].p10 = a / 2.0;
+  }
+  double p = 0.0;
+  for (std::uint32_t u = 0; u < tt.num_rows(); ++u) {
+    if (!tt.eval(u)) continue;
+    for (std::uint32_t v = 0; v < tt.num_rows(); ++v) {
+      if (!tt.eval(v)) continue;
+      double term = 1.0;
+      for (int j = 0; j < k && term > 0.0; ++j) {
+        const bool bu = (u >> j) & 1u;
+        const bool bv = (v >> j) & 1u;
+        const Pair& pj = joint[j];
+        term *= bu ? (bv ? pj.p11 : pj.p10) : (bv ? pj.p01 : pj.p00);
+      }
+      p += term;
+    }
+  }
+  return clamp01(p);
+}
+
+double lut_switching_activity(const TruthTable& tt,
+                              const std::vector<double>& p_in,
+                              const std::vector<double>& act_in) {
+  const double p = lut_probability(tt, p_in);
+  const double pj = lut_joint_prob(tt, p_in, act_in);
+  return clamp01(2.0 * (p - pj));
+}
+
+double boolean_difference_prob(const TruthTable& tt, int j,
+                               const std::vector<double>& p_in) {
+  HLP_CHECK(j >= 0 && j < tt.num_inputs(), "input index out of range");
+  // df/dx_j = f|x_j=0 XOR f|x_j=1: enumerate over the remaining inputs.
+  double p = 0.0;
+  for (std::uint32_t m = 0; m < tt.num_rows(); ++m) {
+    if ((m >> j) & 1u) continue;  // iterate with x_j = 0
+    if (tt.eval(m) == tt.eval(m | (1u << j))) continue;
+    double term = 1.0;
+    for (int i = 0; i < tt.num_inputs(); ++i) {
+      if (i == j) continue;
+      term *= ((m >> i) & 1u) ? p_in[i] : 1.0 - p_in[i];
+    }
+    p += term;
+  }
+  return clamp01(p);
+}
+
+std::vector<double> netlist_probabilities(const Netlist& n,
+                                          double source_prob) {
+  std::vector<double> prob(n.num_nets(), source_prob);
+  for (int gi : n.topo_gates()) {
+    const Gate& g = n.gates()[gi];
+    std::vector<double> pin;
+    pin.reserve(g.ins.size());
+    for (NetId in : g.ins) pin.push_back(prob[in]);
+    prob[g.out] = lut_probability(g.tt, pin);
+  }
+  return prob;
+}
+
+}  // namespace hlp

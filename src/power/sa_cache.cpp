@@ -1,0 +1,92 @@
+#include "power/sa_cache.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "power/activity.hpp"
+#include "rtl/partial_datapath.hpp"
+
+namespace hlp {
+
+SaCache::SaCache(int width, MapParams map_params)
+    : width_(width), map_params_(map_params) {
+  HLP_REQUIRE(width >= 1, "width must be >= 1");
+}
+
+std::uint64_t SaCache::key(OpKind kind, int a, int b) {
+  return (static_cast<std::uint64_t>(op_kind_index(kind)) << 40) |
+         (static_cast<std::uint64_t>(a) << 20) | static_cast<std::uint64_t>(b);
+}
+
+double SaCache::compute_uncached(OpKind kind, int n_mux_a, int n_mux_b) const {
+  const Netlist dp = make_partial_datapath(kind, n_mux_a, n_mux_b, width_);
+  const MapResult mapped = tech_map(dp, map_params_);
+  return estimate_activity(mapped.lut_netlist).total_sa;
+}
+
+double SaCache::switching_activity(OpKind kind, int n_mux_a, int n_mux_b) {
+  HLP_REQUIRE(n_mux_a >= 1 && n_mux_b >= 1, "mux sizes must be >= 1");
+  const std::uint64_t k = key(kind, n_mux_a, n_mux_b);
+  auto it = table_.find(k);
+  if (it != table_.end()) return it->second;
+  ++misses_;
+  const double sa = compute_uncached(kind, n_mux_a, n_mux_b);
+  table_.emplace(k, sa);
+  return sa;
+}
+
+void SaCache::precompute(int max_mux_a, int max_mux_b) {
+  for (int kind = 0; kind < kNumOpKinds; ++kind)
+    for (int a = 1; a <= max_mux_a; ++a)
+      for (int b = 1; b <= max_mux_b; ++b)
+        switching_activity(static_cast<OpKind>(kind), a, b);
+}
+
+void SaCache::save(std::ostream& os) const {
+  os << "# SaCache width=" << width_ << " k=" << map_params_.cuts.k << "\n";
+  os.precision(17);  // bit-exact double round trip
+  for (const auto& [k, sa] : table_) {
+    const int kind = static_cast<int>(k >> 40);
+    const int a = static_cast<int>((k >> 20) & 0xfffff);
+    const int b = static_cast<int>(k & 0xfffff);
+    os << to_string(static_cast<OpKind>(kind)) << " " << a << " " << b << " "
+       << sa << "\n";
+  }
+}
+
+void SaCache::load(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto tok = split_ws(line);
+    if (tok.empty()) continue;
+    HLP_REQUIRE(tok.size() == 4, "SaCache line needs 4 fields: '" << line << "'");
+    OpKind kind;
+    if (tok[0] == "add")
+      kind = OpKind::kAdd;
+    else if (tok[0] == "mult")
+      kind = OpKind::kMult;
+    else
+      HLP_REQUIRE(false, "unknown op kind '" << tok[0] << "'");
+    table_[key(kind, std::stoi(tok[1]), std::stoi(tok[2]))] = std::stod(tok[3]);
+  }
+}
+
+void SaCache::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  HLP_REQUIRE(f.good(), "cannot open '" << path << "' for writing");
+  save(f);
+}
+
+void SaCache::load_file(const std::string& path) {
+  std::ifstream f(path);
+  HLP_REQUIRE(f.good(), "cannot open '" << path << "' for reading");
+  load(f);
+}
+
+}  // namespace hlp

@@ -1,0 +1,64 @@
+// Precalculated switching-activity table (Section 5.2.2).
+//
+// "As dynamic calculation of the switching activities for each edge during
+// the binding iterations can be time consuming, in our experiments we
+// precalculate the switching activities for all combinations of
+// multiplexers and functional units... stored in a text file. A hash table
+// is then generated when HLPower is initially run."
+//
+// SaCache computes, for a key (op kind, muxA size, muxB size), the
+// glitch-aware SA of the 4-LUT-mapped partial datapath, memoises it, and
+// can persist/reload the table as text.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "cdfg/cdfg.hpp"
+#include "mapper/techmap.hpp"
+
+namespace hlp {
+
+class SaCache {
+ public:
+  /// `width`: datapath bit width; `map_params`: mapper configuration used
+  /// for every partial datapath.
+  explicit SaCache(int width = 8, MapParams map_params = {});
+
+  /// Glitch-aware SA for (kind, nA-input muxA, nB-input muxB); computed on
+  /// demand and memoised. nA/nB >= 1 (1 = direct connection).
+  double switching_activity(OpKind kind, int n_mux_a, int n_mux_b);
+
+  /// Always-compute variant (ignores and does not touch the memo) — used to
+  /// verify that precalculated and dynamic estimation agree (§5.2.2).
+  double compute_uncached(OpKind kind, int n_mux_a, int n_mux_b) const;
+
+  /// Precompute all combinations up to the given mux sizes (the paper's
+  /// "all combinations" table).
+  void precompute(int max_mux_a, int max_mux_b);
+
+  /// Text persistence: "<kind> <nA> <nB> <sa>" per line.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+  std::size_t size() const { return table_.size(); }
+  int width() const { return width_; }
+
+  /// Number of on-demand SA computations performed (cache misses) — used by
+  /// the ablation bench to show the precalc speedup.
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static std::uint64_t key(OpKind kind, int a, int b);
+
+  int width_;
+  MapParams map_params_;
+  std::unordered_map<std::uint64_t, double> table_;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hlp

@@ -1,0 +1,55 @@
+#include "rtl/flow.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "sim/vectors.hpp"
+
+namespace hlp {
+
+int vectors_from_env(int fallback) {
+  if (const char* env = std::getenv("HLP_VECTORS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+FlowResult run_flow(const Cdfg& g, const Schedule& s, const Binding& b,
+                    const FlowParams& params) {
+  FlowResult r;
+
+  // RTL elaboration + "synthesis" (technology mapping).
+  const Datapath dp = elaborate_datapath(g, s, b, DatapathParams{params.width});
+  r.mapped = tech_map(dp.netlist, params.map);
+  r.clock_period_ns = clock_period_ns(r.mapped.lut_netlist, params.timing);
+  r.mux_stats = compute_datapath_stats(g, b.regs, b.fus);
+
+  // Stimulus: num_vectors random input samples, each run through the whole
+  // schedule (load phase + every control step).
+  std::vector<std::vector<std::uint64_t>> samples(params.num_vectors);
+  {
+    const auto words = random_words(
+        params.num_vectors * std::max(1, g.num_inputs()), params.width,
+        params.seed);
+    std::size_t w = 0;
+    for (auto& sample : samples) {
+      sample.resize(g.num_inputs());
+      for (auto& word : sample) word = words[w++];
+    }
+  }
+  const auto frames = make_frames(dp, samples);
+  r.sim = simulate_frames(r.mapped.lut_netlist, frames);
+
+  const double functional_per_cycle =
+      r.sim.num_cycles
+          ? static_cast<double>(r.sim.functional_transitions) /
+                static_cast<double>(r.sim.num_cycles)
+          : 0.0;
+  r.report = power_from_toggles(r.mapped.lut_netlist, r.sim.toggles,
+                                r.sim.num_cycles, r.clock_period_ns,
+                                functional_per_cycle, params.power);
+  return r;
+}
+
+}  // namespace hlp

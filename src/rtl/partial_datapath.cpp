@@ -1,0 +1,121 @@
+#include "rtl/partial_datapath.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netlist/modules.hpp"
+
+namespace hlp {
+namespace {
+
+// Create `n_data * width` register-source inputs plus select inputs, run
+// them through a mux (or pass through when n_data == 1), return the `width`
+// port nets.
+std::vector<NetId> build_port(Netlist& top, const Netlist& mux_model,
+                              int n_data, int width, const std::string& tag) {
+  std::vector<NetId> actuals;
+  for (int i = 0; i < n_data; ++i)
+    for (int j = 0; j < width; ++j)
+      actuals.push_back(
+          top.add_input(tag + "r" + std::to_string(i) + "_" + std::to_string(j)));
+  const int sbits = mux_select_bits(n_data);
+  for (int s = 0; s < sbits; ++s)
+    actuals.push_back(top.add_input(tag + "sel" + std::to_string(s)));
+  if (n_data == 1) {
+    // Direct connection: the mux model for n=1 is pure pass-through; skip
+    // instantiating buffers and feed the registers straight through.
+    return std::vector<NetId>(actuals.begin(), actuals.begin() + width);
+  }
+  return top.instantiate(mux_model, actuals, tag);
+}
+
+}  // namespace
+
+Netlist make_partial_datapath(OpKind kind, int n_mux_a, int n_mux_b,
+                              int width) {
+  HLP_REQUIRE(n_mux_a >= 1 && n_mux_b >= 1, "mux sizes must be >= 1");
+  HLP_REQUIRE(width >= 1, "width must be >= 1");
+  Netlist top(std::string(to_string(kind)) + "_" + std::to_string(n_mux_a) +
+              "_" + std::to_string(n_mux_b));
+  const Netlist mux_a = make_mux(n_mux_a, width);
+  const Netlist mux_b = make_mux(n_mux_b, width);
+  const Netlist fu =
+      kind == OpKind::kAdd ? make_adder(width) : make_multiplier(width);
+
+  const auto port_a = build_port(top, mux_a, n_mux_a, width, "a_");
+  const auto port_b = build_port(top, mux_b, n_mux_b, width, "b_");
+
+  std::vector<NetId> fu_inputs;
+  fu_inputs.insert(fu_inputs.end(), port_a.begin(), port_a.end());
+  fu_inputs.insert(fu_inputs.end(), port_b.begin(), port_b.end());
+  const auto outs = top.instantiate(fu, fu_inputs, "fu_");
+  for (NetId o : outs) top.add_output(o);
+  top.validate();
+  return top;
+}
+
+PartialDatapathBlif make_partial_datapath_blif(OpKind kind, int n_mux_a,
+                                               int n_mux_b, int width) {
+  PartialDatapathBlif out;
+  const Netlist mux_a = make_mux(n_mux_a, width);
+  const Netlist mux_b = make_mux(n_mux_b, width);
+  const Netlist fu =
+      kind == OpKind::kAdd ? make_adder(width) : make_multiplier(width);
+  out.library.add(mux_a);
+  out.library.add(mux_b);
+  out.library.add(fu);
+
+  std::ostringstream os;
+  const std::string model_name = std::string(to_string(kind)) + "_" +
+                                 std::to_string(n_mux_a) + "_" +
+                                 std::to_string(n_mux_b);
+  os << "# partial datapath (Figure 2): " << model_name << "\n";
+  os << ".search " << mux_a.name() << ".blif\n";
+  if (mux_b.name() != mux_a.name()) os << ".search " << mux_b.name() << ".blif\n";
+  os << ".search " << fu.name() << ".blif\n";
+  os << ".model " << model_name << "\n";
+
+  auto port_inputs = [&](const char* tag, int n_data) {
+    std::vector<std::string> names;
+    for (int i = 0; i < n_data; ++i)
+      for (int j = 0; j < width; ++j)
+        names.push_back(std::string(tag) + "r" + std::to_string(i) + "_" +
+                        std::to_string(j));
+    for (int s = 0; s < mux_select_bits(n_data); ++s)
+      names.push_back(std::string(tag) + "sel" + std::to_string(s));
+    return names;
+  };
+  const auto ins_a = port_inputs("a_", n_mux_a);
+  const auto ins_b = port_inputs("b_", n_mux_b);
+  os << ".inputs";
+  for (const auto& s : ins_a) os << " " << s;
+  for (const auto& s : ins_b) os << " " << s;
+  os << "\n.outputs";
+  for (int j = 0; j < width; ++j) os << " s" << j;
+  os << "\n";
+
+  auto emit_mux = [&](const Netlist& mux, const std::vector<std::string>& ins,
+                      const char* tag) {
+    os << ".subckt " << mux.name();
+    for (std::size_t i = 0; i < ins.size(); ++i)
+      os << " " << mux.net_name(mux.inputs()[i]) << "=" << ins[i];
+    for (int j = 0; j < width; ++j)
+      os << " y" << j << "=" << tag << "y" << j;
+    os << "\n";
+  };
+  // Port A / B muxes (a 1-input "mux" is still emitted; it flattens to a
+  // pass-through).
+  emit_mux(mux_a, ins_a, "a_");
+  emit_mux(mux_b, ins_b, "b_");
+
+  os << ".subckt " << fu.name();
+  for (int j = 0; j < width; ++j) os << " a" << j << "=a_y" << j;
+  for (int j = 0; j < width; ++j) os << " b" << j << "=b_y" << j;
+  for (int j = 0; j < width; ++j) os << " s" << j << "=s" << j;
+  os << "\n.end\n";
+  out.blif = os.str();
+  return out;
+}
+
+}  // namespace hlp

@@ -1,0 +1,37 @@
+// Partial-datapath netlist generation (Figure 2 of the paper).
+//
+// A partial datapath is one functional unit plus the two input multiplexers
+// a candidate binding would require: muxA (nA registers feed port A) and
+// muxB (nB registers feed port B). The paper generates these as .blif by
+// importing the library models with `.search` and instantiating them with
+// `.subckt`; `make_partial_datapath_blif` reproduces exactly that text,
+// and `make_partial_datapath` builds the flattened netlist directly.
+//
+// The glitch-aware SA of this netlist (after 4-LUT mapping) is the SA term
+// of the edge-weight equation (Eq. 4).
+#pragma once
+
+#include <string>
+
+#include "cdfg/cdfg.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/netlist.hpp"
+
+namespace hlp {
+
+/// Flattened gate-level partial datapath: FU of `kind`, `width` bits, with
+/// an nA-input mux on port A and an nB-input mux on port B (nA/nB >= 1;
+/// size 1 means a direct register connection, no mux gates).
+Netlist make_partial_datapath(OpKind kind, int n_mux_a, int n_mux_b,
+                              int width);
+
+/// The same datapath as hierarchical BLIF text (.search + .subckt, as in
+/// Figure 2), plus the library needed to flatten it again with read_blif.
+struct PartialDatapathBlif {
+  std::string blif;
+  BlifLibrary library;
+};
+PartialDatapathBlif make_partial_datapath_blif(OpKind kind, int n_mux_a,
+                                               int n_mux_b, int width);
+
+}  // namespace hlp

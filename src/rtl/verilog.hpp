@@ -1,0 +1,23 @@
+// Verilog-2001 emission — companion backend to the VHDL emitter, for flows
+// whose downstream tooling prefers Verilog. Produces the same datapath
+// semantics: a control-step counter, registered values, FU expressions and
+// schedule-derived mux selects.
+#pragma once
+
+#include <string>
+
+#include "binding/binding.hpp"
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+struct VerilogParams {
+  int width = 8;
+};
+
+/// Full Verilog module source.
+std::string emit_verilog(const Cdfg& g, const Schedule& s, const Binding& b,
+                         const VerilogParams& params = {});
+
+}  // namespace hlp

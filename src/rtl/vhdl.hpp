@@ -1,0 +1,28 @@
+// VHDL emission — the "binding solutions, in CDFG format, are then
+// converted to RTL design in VHDL with a CDFG to VHDL tool" step of the
+// paper's flow (Section 6.1).
+//
+// Emits a synthesisable entity: one process holding the registers and the
+// control-step counter, FU expressions with ieee.numeric_std arithmetic,
+// and select logic per multiplexer derived from the schedule. The VHDL is
+// a transport artifact in this reproduction (measurement runs on the
+// elaborated netlist), but it is complete and self-contained.
+#pragma once
+
+#include <string>
+
+#include "binding/binding.hpp"
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+struct VhdlParams {
+  int width = 8;
+};
+
+/// Full VHDL source (library clause + entity + architecture).
+std::string emit_vhdl(const Cdfg& g, const Schedule& s, const Binding& b,
+                      const VhdlParams& params = {});
+
+}  // namespace hlp

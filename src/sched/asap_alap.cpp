@@ -1,0 +1,43 @@
+#include "sched/asap_alap.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+Schedule asap_schedule(const Cdfg& g) {
+  Schedule s;
+  s.cstep_of_op.assign(g.num_ops(), 0);
+  for (int i = 0; i < g.num_ops(); ++i) {
+    auto ready = [&](ValueRef v) {
+      return v.is_op() ? s.cstep_of_op[v.index] + 1 : 0;
+    };
+    s.cstep_of_op[i] = std::max(ready(g.op(i).lhs), ready(g.op(i).rhs));
+    s.num_steps = std::max(s.num_steps, s.cstep_of_op[i] + 1);
+  }
+  if (g.num_ops() == 0) s.num_steps = 1;
+  return s;
+}
+
+Schedule alap_schedule(const Cdfg& g, int latency) {
+  HLP_REQUIRE(latency >= g.depth(),
+              "latency " << latency << " below CDFG depth " << g.depth());
+  Schedule s;
+  s.num_steps = latency;
+  s.cstep_of_op.assign(g.num_ops(), latency - 1);
+  // Walk in reverse topological (creation) order, pulling producers earlier.
+  for (int i = g.num_ops() - 1; i >= 0; --i) {
+    auto constrain = [&](ValueRef v, int consumer_step) {
+      if (v.is_op())
+        s.cstep_of_op[v.index] =
+            std::min(s.cstep_of_op[v.index], consumer_step - 1);
+    };
+    constrain(g.op(i).lhs, s.cstep_of_op[i]);
+    constrain(g.op(i).rhs, s.cstep_of_op[i]);
+  }
+  s.validate(g);
+  return s;
+}
+
+}  // namespace hlp

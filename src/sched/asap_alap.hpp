@@ -1,0 +1,18 @@
+// Unconstrained ASAP / ALAP schedules — used to seed the list scheduler's
+// priority function and as property-test oracles.
+#pragma once
+
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+/// As-soon-as-possible schedule (no resource limits). num_steps equals the
+/// CDFG depth.
+Schedule asap_schedule(const Cdfg& g);
+
+/// As-late-as-possible schedule for a given latency (must be >= CDFG depth;
+/// throws otherwise).
+Schedule alap_schedule(const Cdfg& g, int latency);
+
+}  // namespace hlp

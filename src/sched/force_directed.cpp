@@ -1,0 +1,120 @@
+#include "sched/force_directed.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/asap_alap.hpp"
+
+namespace hlp {
+namespace {
+
+struct Frames {
+  std::vector<int> lo;  // earliest feasible step per op
+  std::vector<int> hi;  // latest feasible step per op
+};
+
+// Distribution graphs: expected occupancy per (kind, step) assuming each
+// op executes uniformly within its frame.
+std::vector<std::vector<double>> distribution(const Cdfg& g, const Frames& f,
+                                              int latency) {
+  std::vector<std::vector<double>> dg(kNumOpKinds,
+                                      std::vector<double>(latency, 0.0));
+  for (int op = 0; op < g.num_ops(); ++op) {
+    const int width = f.hi[op] - f.lo[op] + 1;
+    const double p = 1.0 / width;
+    for (int t = f.lo[op]; t <= f.hi[op]; ++t)
+      dg[op_kind_index(g.op(op).kind)][t] += p;
+  }
+  return dg;
+}
+
+// Self force of committing `op` to step t: DG delta over its frame.
+double self_force(const std::vector<double>& dg_row, const Frames& f, int op,
+                  int t) {
+  const int width = f.hi[op] - f.lo[op] + 1;
+  double force = dg_row[t];
+  for (int s = f.lo[op]; s <= f.hi[op]; ++s) force -= dg_row[s] / width;
+  return force;
+}
+
+}  // namespace
+
+Schedule force_directed_schedule(const Cdfg& g, int latency) {
+  HLP_REQUIRE(latency >= g.depth(),
+              "latency " << latency << " below CDFG depth " << g.depth());
+  const int n = g.num_ops();
+  Schedule out;
+  out.num_steps = latency;
+  out.cstep_of_op.assign(n, -1);
+  if (n == 0) return out;
+
+  const Schedule asap = asap_schedule(g);
+  const Schedule alap = alap_schedule(g, latency);
+  Frames f{asap.cstep_of_op, alap.cstep_of_op};
+  const auto consumers = g.op_consumers();
+
+  // Commit ops one at a time: pick the unscheduled op/step pair with the
+  // lowest self force (ties: narrower frame first, then lower op id).
+  std::vector<char> done(n, 0);
+  for (int committed = 0; committed < n; ++committed) {
+    const auto dg = distribution(g, f, latency);
+    int best_op = -1, best_step = -1;
+    double best_force = std::numeric_limits<double>::infinity();
+    int best_width = std::numeric_limits<int>::max();
+    for (int op = 0; op < n; ++op) {
+      if (done[op]) continue;
+      const auto& row = dg[op_kind_index(g.op(op).kind)];
+      for (int t = f.lo[op]; t <= f.hi[op]; ++t) {
+        const double force = self_force(row, f, op, t);
+        const int width = f.hi[op] - f.lo[op] + 1;
+        if (force < best_force - 1e-12 ||
+            (force < best_force + 1e-12 &&
+             (width < best_width || (width == best_width && op < best_op)))) {
+          best_force = force;
+          best_op = op;
+          best_step = t;
+          best_width = width;
+        }
+      }
+    }
+    HLP_CHECK(best_op >= 0, "no schedulable op found");
+    done[best_op] = 1;
+    f.lo[best_op] = f.hi[best_op] = best_step;
+    out.cstep_of_op[best_op] = best_step;
+
+    // Propagate frame shrinkage: successors cannot start before
+    // best_step+1; predecessors must finish before best_step.
+    // One relaxation pass per commit is sufficient because frames only
+    // tighten monotonically.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int op = 0; op < n; ++op) {
+        auto tighten_lo = [&](ValueRef v) {
+          if (!v.is_op()) return;
+          const int need = f.lo[v.index] + 1;
+          if (f.lo[op] < need) {
+            f.lo[op] = need;
+            changed = true;
+          }
+        };
+        tighten_lo(g.op(op).lhs);
+        tighten_lo(g.op(op).rhs);
+        const int value = g.num_inputs() + op;
+        for (int c : consumers[value]) {
+          if (f.hi[op] > f.hi[c] - 1) {
+            f.hi[op] = f.hi[c] - 1;
+            changed = true;
+          }
+        }
+        HLP_CHECK(f.lo[op] <= f.hi[op], "frame collapsed for op " << op);
+      }
+    }
+  }
+  out.validate(g);
+  return out;
+}
+
+}  // namespace hlp

@@ -1,0 +1,29 @@
+// Force-directed scheduling (Paulin & Knight), resource-minimising variant.
+//
+// The paper's evaluation fixes the schedule (both binders consume the same
+// one), but a complete HLS binding library needs more than one scheduler:
+// force-directed scheduling smooths the per-step operation distribution
+// under a latency constraint, which *reduces the max density* — and the
+// max density is exactly the allocation lower bound HLPower binds to
+// (Theorem 1). Pairing this scheduler with HLPower reproduces the paper's
+// "integrate into a complete high-level synthesis algorithm" future-work
+// direction.
+//
+// Classic formulation: every op has a time frame [ASAP, ALAP]; the
+// distribution graph DG_k(t) sums, per op kind, the uniform probability of
+// each op executing at step t. Scheduling an op at step t changes the
+// "force" = sum over its (shrunk) frame of DG values; ops are committed
+// one at a time to the minimum-force step, updating frames of dependents.
+#pragma once
+
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+/// Force-directed schedule under a latency bound (>= CDFG depth).
+/// Resource usage is balanced, not constrained; read the resulting
+/// max_density() to obtain the allocation it implies.
+Schedule force_directed_schedule(const Cdfg& g, int latency);
+
+}  // namespace hlp

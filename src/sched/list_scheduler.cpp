@@ -1,0 +1,92 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/asap_alap.hpp"
+
+namespace hlp {
+
+Schedule list_schedule(const Cdfg& g, const ResourceConstraint& rc,
+                       int min_latency) {
+  HLP_REQUIRE(rc.adders >= 1 || g.num_ops_of_kind(OpKind::kAdd) == 0,
+              "need at least one adder");
+  HLP_REQUIRE(rc.multipliers >= 1 || g.num_ops_of_kind(OpKind::kMult) == 0,
+              "need at least one multiplier");
+
+  const int n = g.num_ops();
+  Schedule out;
+  out.cstep_of_op.assign(n, -1);
+  if (n == 0) {
+    out.num_steps = std::max(1, min_latency);
+    return out;
+  }
+
+  // Urgency: ALAP step under a generous latency bound; smaller = schedule
+  // earlier. The bound only affects tie-breaking, not feasibility.
+  const int bound = g.depth() + n;
+  const Schedule alap = alap_schedule(g, bound);
+
+  std::vector<int> remaining_deps(n, 0);
+  auto consumers = g.op_consumers();
+  for (int i = 0; i < n; ++i) {
+    if (g.op(i).lhs.is_op()) ++remaining_deps[i];
+    if (g.op(i).rhs.is_op()) ++remaining_deps[i];
+    // An op reading the same op-value twice has two dep edges but one
+    // producer; collapse.
+    if (g.op(i).lhs.is_op() && g.op(i).lhs == g.op(i).rhs)
+      remaining_deps[i] = 1;
+  }
+
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i)
+    if (remaining_deps[i] == 0) ready.push_back(i);
+
+  int scheduled = 0;
+  int step = 0;
+  while (scheduled < n) {
+    HLP_CHECK(step <= bound + 1, "list scheduler failed to converge");
+    // Most urgent first.
+    std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+      if (alap.cstep_of_op[a] != alap.cstep_of_op[b])
+        return alap.cstep_of_op[a] < alap.cstep_of_op[b];
+      return a < b;
+    });
+    std::vector<int> budget = rc.as_vector();
+    std::vector<int> deferred;
+    std::vector<int> placed;
+    for (int op : ready) {
+      int& slots = budget[op_kind_index(g.op(op).kind)];
+      if (slots > 0) {
+        --slots;
+        out.cstep_of_op[op] = step;
+        placed.push_back(op);
+        ++scheduled;
+      } else {
+        deferred.push_back(op);
+      }
+    }
+    ready = std::move(deferred);
+    // Results become visible at step+1: release dependents. A consumer
+    // reading the same value on both ports appears twice in the consumer
+    // list but holds a single (collapsed) dependency — decrement once.
+    for (int op : placed) {
+      const auto op_value_id = g.num_inputs() + op;
+      int prev = -1;
+      auto dupes = consumers[op_value_id];
+      std::sort(dupes.begin(), dupes.end());
+      for (int c : dupes) {
+        if (c == prev) continue;
+        prev = c;
+        if (--remaining_deps[c] == 0) ready.push_back(c);
+      }
+    }
+    ++step;
+  }
+  out.num_steps = std::max(step, min_latency);
+  out.validate_resources(g, rc.as_vector());
+  return out;
+}
+
+}  // namespace hlp

@@ -1,0 +1,22 @@
+// Resource-constrained list scheduler.
+//
+// Produces the scheduled CDFGs consumed by both binders (the paper uses
+// identical schedules for LOPASS and HLPower — Table 2). Priority is ALAP
+// slack (most urgent first), the classic latency-oriented heuristic.
+#pragma once
+
+#include "cdfg/cdfg.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+
+/// List-schedule `g` under `rc`. The resulting schedule satisfies
+/// validate_resources(g, rc.as_vector()).
+///
+/// `min_latency` optionally stretches the schedule to at least that many
+/// steps (the paper reports fixed cycle counts per benchmark; scheduling
+/// under the Table 2 constraints reproduces them approximately).
+Schedule list_schedule(const Cdfg& g, const ResourceConstraint& rc,
+                       int min_latency = 0);
+
+}  // namespace hlp

@@ -1,0 +1,71 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+std::vector<std::vector<int>> Schedule::occupancy(const Cdfg& g) const {
+  std::vector<std::vector<int>> occ(kNumOpKinds,
+                                    std::vector<int>(num_steps, 0));
+  for (int i = 0; i < g.num_ops(); ++i)
+    ++occ[op_kind_index(g.op(i).kind)][cstep_of_op[i]];
+  return occ;
+}
+
+int Schedule::max_density(const Cdfg& g, OpKind kind) const {
+  const auto occ = occupancy(g);
+  const auto& row = occ[op_kind_index(kind)];
+  return row.empty() ? 0 : *std::max_element(row.begin(), row.end());
+}
+
+std::vector<int> Schedule::densest_step_ops(const Cdfg& g, OpKind kind) const {
+  const auto occ = occupancy(g);
+  const auto& row = occ[op_kind_index(kind)];
+  if (row.empty()) return {};
+  const int best =
+      static_cast<int>(std::max_element(row.begin(), row.end()) - row.begin());
+  std::vector<int> ops;
+  for (int i = 0; i < g.num_ops(); ++i)
+    if (g.op(i).kind == kind && cstep_of_op[i] == best) ops.push_back(i);
+  return ops;
+}
+
+void Schedule::validate(const Cdfg& g) const {
+  HLP_CHECK(static_cast<int>(cstep_of_op.size()) == g.num_ops(),
+            "schedule covers " << cstep_of_op.size() << " ops, CDFG has "
+                               << g.num_ops());
+  for (int i = 0; i < g.num_ops(); ++i) {
+    const int s = cstep_of_op[i];
+    HLP_CHECK(s >= 0 && s < num_steps,
+              "op " << g.op(i).name << " scheduled at step " << s
+                    << ", valid range [0," << num_steps << ")");
+    auto check_dep = [&](ValueRef v) {
+      if (!v.is_op()) return;
+      HLP_CHECK(cstep_of_op[v.index] < s,
+                "precedence violated: " << g.op(v.index).name << " (step "
+                                        << cstep_of_op[v.index] << ") feeds "
+                                        << g.op(i).name << " (step " << s
+                                        << ")");
+    };
+    check_dep(g.op(i).lhs);
+    check_dep(g.op(i).rhs);
+  }
+}
+
+void Schedule::validate_resources(const Cdfg& g,
+                                  const std::vector<int>& limit) const {
+  validate(g);
+  HLP_CHECK(static_cast<int>(limit.size()) == kNumOpKinds,
+            "limit vector must have " << kNumOpKinds << " entries");
+  const auto occ = occupancy(g);
+  for (int k = 0; k < kNumOpKinds; ++k)
+    for (int s = 0; s < num_steps; ++s)
+      HLP_CHECK(occ[k][s] <= limit[k],
+                "resource constraint violated: " << occ[k][s] << " "
+                    << to_string(static_cast<OpKind>(k)) << " ops in step "
+                    << s << ", limit " << limit[k]);
+}
+
+}  // namespace hlp

@@ -1,0 +1,52 @@
+// Schedule representation and validation.
+//
+// The paper's binding input is a *scheduled* CDFG over single-cycle
+// resources: an operation scheduled in control step s reads its operands
+// from registers at the start of s and writes its result at the end of s,
+// so a consumer must be scheduled at step >= s+1. Primary inputs are
+// available from step 0.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+
+namespace hlp {
+
+/// A schedule: control step per operation, plus the total step count.
+struct Schedule {
+  std::vector<int> cstep_of_op;  // indexed by op id, values in [0, num_steps)
+  int num_steps = 0;
+
+  int cstep(int op) const { return cstep_of_op.at(op); }
+
+  /// Ops per (kind, cstep) occupancy matrix.
+  std::vector<std::vector<int>> occupancy(const Cdfg& g) const;
+
+  /// Maximum number of concurrent ops of `kind` over all csteps — the lower
+  /// bound on the resource allocation (Theorem 1's selection criterion).
+  int max_density(const Cdfg& g, OpKind kind) const;
+
+  /// Ops of `kind` in the (first) control step achieving max density.
+  std::vector<int> densest_step_ops(const Cdfg& g, OpKind kind) const;
+
+  /// Throws hlp::Error if precedence or range constraints are violated.
+  void validate(const Cdfg& g) const;
+
+  /// Validate and additionally check per-step resource usage against
+  /// `limit[kind]` (indexed by op_kind_index).
+  void validate_resources(const Cdfg& g, const std::vector<int>& limit) const;
+};
+
+/// Per-kind resource constraint (allocation limit).
+struct ResourceConstraint {
+  int adders = 0;
+  int multipliers = 0;
+
+  int limit(OpKind k) const {
+    return k == OpKind::kAdd ? adders : multipliers;
+  }
+  std::vector<int> as_vector() const { return {adders, multipliers}; }
+};
+
+}  // namespace hlp

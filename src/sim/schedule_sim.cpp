@@ -1,0 +1,32 @@
+#include "sim/schedule_sim.hpp"
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlp {
+
+CycleSimStats simulate_frames(const Netlist& n,
+                              const std::vector<std::vector<char>>& frames) {
+  UnitDelaySimulator sim(n);
+  CycleSimStats stats;
+  stats.num_cycles = frames.size();
+
+  std::vector<char> before(n.num_nets(), 0);
+  for (const auto& frame : frames) {
+    HLP_REQUIRE(frame.size() == n.inputs().size(),
+                "frame has " << frame.size() << " bits, netlist has "
+                             << n.inputs().size() << " inputs");
+    for (NetId net = 0; net < n.num_nets(); ++net) before[net] = sim.value(net);
+    for (std::size_t j = 0; j < frame.size(); ++j)
+      sim.set_input(n.inputs()[j], frame[j] != 0);
+    sim.clock_edge();
+    sim.settle(/*count=*/true);
+    for (NetId net = 0; net < n.num_nets(); ++net)
+      if (before[net] != (sim.value(net) ? 1 : 0)) ++stats.functional_transitions;
+  }
+  stats.toggles = sim.toggles();
+  stats.total_transitions = sim.total_toggles();
+  return stats;
+}
+
+}  // namespace hlp

@@ -1,0 +1,62 @@
+// Event-driven unit-delay gate/LUT simulator.
+//
+// This is the measurement side of the reproduction: where the paper runs
+// the Quartus II simulator on the synthesised design and counts transitions
+// (toggle rate, Figure 3), we run this simulator on the mapped netlist.
+// Every gate has one unit of delay, so unequal path depths produce the
+// spurious intermediate transitions (glitches) that the binding algorithm
+// tries to minimise. A zero-delay settle is also provided; the difference
+// between unit-delay and zero-delay transition counts is precisely the
+// glitch count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace hlp {
+
+class UnitDelaySimulator {
+ public:
+  explicit UnitDelaySimulator(const Netlist& n);
+
+  /// Re-initialise: sources 0, all gates settled consistently, counters
+  /// cleared, latches 0.
+  void reset();
+
+  /// Stage a new primary-input value (takes effect at the next settle).
+  void set_input(NetId pi, bool value);
+
+  /// Clock edge: every latch Q takes its D value (as of the current settled
+  /// state). Call before settle() each cycle.
+  void clock_edge();
+
+  /// Propagate staged source changes with unit gate delays. When `count`
+  /// is true, every net value change increments that net's toggle counter.
+  /// Returns the number of unit time steps until quiescence.
+  int settle(bool count = true);
+
+  /// Zero-delay settle: single topological evaluation; each net changes at
+  /// most once. Used for functional-transition baselines.
+  void settle_zero_delay(bool count = true);
+
+  bool value(NetId n) const;
+  const std::vector<std::uint64_t>& toggles() const { return toggles_; }
+  std::uint64_t total_toggles() const;
+  void clear_toggles();
+
+ private:
+  void recompute_all();  // consistent zero-delay evaluation, no counting
+
+  const Netlist& netlist_;
+  std::vector<char> value_;
+  std::vector<char> staged_;          // pending source values
+  std::vector<char> staged_dirty_;    // which sources were staged
+  std::vector<std::uint64_t> toggles_;
+  std::vector<std::vector<int>> fanout_gates_;  // net -> consuming gate idx
+  std::vector<int> topo_;
+  std::vector<int> topo_pos_of_gate_;
+};
+
+}  // namespace hlp

@@ -1,0 +1,27 @@
+#include "sim/vectors.hpp"
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+std::vector<std::vector<char>> random_vectors(int num_vectors, int num_bits,
+                                              std::uint64_t seed) {
+  HLP_REQUIRE(num_vectors >= 0 && num_bits >= 0, "negative vector shape");
+  Rng rng(seed);
+  std::vector<std::vector<char>> out(num_vectors, std::vector<char>(num_bits));
+  for (auto& row : out)
+    for (auto& b : row) b = rng.chance(0.5) ? 1 : 0;
+  return out;
+}
+
+std::vector<std::uint64_t> random_words(int num_vectors, int width,
+                                        std::uint64_t seed) {
+  HLP_REQUIRE(width >= 1 && width <= 64, "word width must be in [1,64]");
+  Rng rng(seed);
+  std::vector<std::uint64_t> out(num_vectors);
+  const std::uint64_t mask = width == 64 ? ~0ull : (1ull << width) - 1ull;
+  for (auto& w : out) w = rng.next_u64() & mask;
+  return out;
+}
+
+}  // namespace hlp

@@ -1,0 +1,23 @@
+// Random stimulus generation — the substitute for the paper's Quartus
+// vector-waveform (.vwf) editor, which generated "1000 random input vectors
+// for each benchmark". Deterministic in the seed, so LOPASS and HLPower
+// bindings of the same benchmark see the *same* stimulus (the paper reuses
+// one .vwf file for both).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hlp {
+
+/// `num_vectors` rows of `num_bits` uniform random bits.
+std::vector<std::vector<char>> random_vectors(int num_vectors, int num_bits,
+                                              std::uint64_t seed);
+
+/// Uniform random machine words in [0, 2^width), one per vector.
+std::vector<std::uint64_t> random_words(int num_vectors, int width,
+                                        std::uint64_t seed);
+
+}  // namespace hlp

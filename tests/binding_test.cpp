@@ -1,0 +1,193 @@
+// Tests for lifetime analysis, register binding ([11]-style) and the
+// datapath mux statistics.
+#include <gtest/gtest.h>
+
+#include "binding/binding.hpp"
+#include "binding/datapath_stats.hpp"
+#include "binding/lifetimes.hpp"
+#include "binding/register_binder.hpp"
+#include "cdfg/benchmarks.hpp"
+#include "common/error.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace hlp {
+namespace {
+
+Cdfg tiny() {
+  Cdfg g("tiny");
+  const int a = g.add_input("a");
+  const int b = g.add_input("b");
+  const int c = g.add_input("c");
+  const int s1 = g.add_op("s1", OpKind::kAdd, ValueRef::input(a), ValueRef::input(b));
+  const int s2 = g.add_op("s2", OpKind::kAdd, ValueRef::input(a), ValueRef::input(c));
+  const int m = g.add_op("m", OpKind::kMult, ValueRef::op(s1), ValueRef::op(s2));
+  g.add_output("out", ValueRef::op(m));
+  return g;
+}
+
+TEST(Lifetimes, BirthAndDeath) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {1, 1});  // serialises the adds
+  const auto lt = compute_lifetimes(g, s);
+  // Input a is read by both adds; its death is the later add's step.
+  const int last_add_step = std::max(s.cstep_of_op[0], s.cstep_of_op[1]);
+  EXPECT_EQ(lt[0].birth, 0);
+  EXPECT_EQ(lt[0].death, last_add_step);
+  // s1's value: born the cycle after its op, read by the mult.
+  EXPECT_EQ(lt[3].birth, s.cstep_of_op[0] + 1);
+  EXPECT_EQ(lt[3].death, s.cstep_of_op[2]);
+  // The output value lives to the schedule end.
+  EXPECT_EQ(lt[5].death, s.num_steps);
+}
+
+TEST(Lifetimes, OverlapPredicate) {
+  EXPECT_TRUE(overlaps({0, 3}, {3, 5}));
+  EXPECT_TRUE(overlaps({2, 4}, {0, 9}));
+  EXPECT_FALSE(overlaps({0, 2}, {3, 5}));
+  EXPECT_FALSE(overlaps({4, 6}, {1, 3}));
+}
+
+TEST(Lifetimes, MaxLiveMatchesHandCount) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {2, 1});
+  const auto lt = compute_lifetimes(g, s);
+  // At step 0: a, b, c live (3). At step 1: s1, s2 live (inputs dead). The
+  // exact count depends on scheduling; just verify against a brute force.
+  int max_t = 0;
+  for (const auto& l : lt) max_t = std::max(max_t, l.death);
+  int brute = 0;
+  for (int t = 0; t <= max_t; ++t) {
+    int live = 0;
+    for (const auto& l : lt) live += (l.birth <= t && t <= l.death);
+    brute = std::max(brute, live);
+  }
+  EXPECT_EQ(max_live_values(lt), brute);
+}
+
+TEST(RegisterBinder, ValidOnTiny) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {2, 1});
+  const RegisterBinding rb = bind_registers(g, s);
+  EXPECT_NO_THROW(rb.validate(g, s));
+  EXPECT_EQ(rb.num_registers, max_live_values(compute_lifetimes(g, s)));
+}
+
+TEST(RegisterBinder, PortAssignmentDeterministicInSeed) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {2, 1});
+  const RegisterBinding a = bind_registers(g, s, 7);
+  const RegisterBinding b = bind_registers(g, s, 7);
+  EXPECT_EQ(a.reg_of_value, b.reg_of_value);
+  EXPECT_EQ(a.lhs_on_port_a, b.lhs_on_port_a);
+}
+
+TEST(RegisterBinder, PortRegLookup) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {2, 1});
+  const RegisterBinding rb = bind_registers(g, s);
+  for (int op = 0; op < g.num_ops(); ++op) {
+    const int ra = rb.port_a_reg(g, op);
+    const int rbg = rb.port_b_reg(g, op);
+    EXPECT_GE(ra, 0);
+    EXPECT_LT(ra, rb.num_registers);
+    EXPECT_GE(rbg, 0);
+    EXPECT_LT(rbg, rb.num_registers);
+    // Ports cover exactly the two operand registers.
+    const int lhs_reg = rb.reg_of_value[value_id(g, g.op(op).lhs)];
+    const int rhs_reg = rb.reg_of_value[value_id(g, g.op(op).rhs)];
+    EXPECT_TRUE((ra == lhs_reg && rbg == rhs_reg) ||
+                (ra == rhs_reg && rbg == lhs_reg));
+  }
+}
+
+class RegisterBinderRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegisterBinderRandom, AlwaysValidAndMinimal) {
+  const Cdfg g = make_random_dfg(5, 3, 35, GetParam());
+  const Schedule s = list_schedule(g, {3, 2});
+  const RegisterBinding rb = bind_registers(g, s, GetParam());
+  EXPECT_NO_THROW(rb.validate(g, s));
+  // Allocation equals the lifetime lower bound — never more.
+  EXPECT_EQ(rb.num_registers, max_live_values(compute_lifetimes(g, s)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegisterBinderRandom, ::testing::Range(0, 25));
+
+TEST(RegisterBindingValidate, CatchesOverlap) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {2, 1});
+  RegisterBinding rb = bind_registers(g, s);
+  // Force inputs a and b (both live at step 0) into one register.
+  rb.reg_of_value[1] = rb.reg_of_value[0];
+  EXPECT_THROW(rb.validate(g, s), Error);
+}
+
+TEST(FuBindingValidate, CatchesKindMismatchAndConflict) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {2, 1});
+  FuBinding fb;
+  fb.kind_of_fu = {OpKind::kAdd, OpKind::kMult};
+  fb.fu_of_op = {0, 0, 1};
+  // Both adds in the same step cannot share FU 0 when scheduled together.
+  if (s.cstep_of_op[0] == s.cstep_of_op[1]) {
+    EXPECT_THROW(fb.validate(g, s, {2, 1}), Error);
+  }
+  // Mult op on the adder FU:
+  FuBinding bad;
+  bad.kind_of_fu = {OpKind::kAdd, OpKind::kAdd, OpKind::kAdd};
+  bad.fu_of_op = {0, 1, 2};
+  EXPECT_THROW(bad.validate(g, s, {3, 1}), Error);
+}
+
+TEST(FuPortSources, DistinctAndSorted) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {1, 1});
+  const RegisterBinding rb = bind_registers(g, s);
+  FuBinding fb;  // one adder, one multiplier
+  fb.kind_of_fu = {OpKind::kAdd, OpKind::kMult};
+  fb.fu_of_op = {0, 0, 1};
+  const FuPortSources ps = fu_port_sources(g, rb, fb);
+  for (const auto& v : {ps.port_a[0], ps.port_b[0], ps.port_a[1], ps.port_b[1]}) {
+    EXPECT_FALSE(v.empty());
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  }
+  // The adder executes two ops: each port sees at most 2 sources.
+  EXPECT_LE(ps.port_a[0].size(), 2u);
+}
+
+TEST(DatapathStats, HandComputedCase) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {1, 1});
+  const RegisterBinding rb = bind_registers(g, s);
+  FuBinding fb;
+  fb.kind_of_fu = {OpKind::kAdd, OpKind::kMult};
+  fb.fu_of_op = {0, 0, 1};
+  const DatapathStats st = compute_datapath_stats(g, rb, fb);
+  EXPECT_EQ(st.num_fus, 2);
+  EXPECT_EQ(st.mux_size_a.size(), 2u);
+  const FuPortSources ps = fu_port_sources(g, rb, fb);
+  EXPECT_EQ(st.mux_size_a[0], static_cast<int>(ps.port_a[0].size()));
+  EXPECT_EQ(st.muxdiff[0], std::abs(st.mux_size_a[0] - st.mux_size_b[0]));
+  // The multiplier runs one op: both ports single-source, no mux length.
+  EXPECT_EQ(st.mux_size_a[1], 1);
+  EXPECT_EQ(st.mux_size_b[1], 1);
+  // Mean/variance recompute.
+  const double mean = (st.muxdiff[0] + st.muxdiff[1]) / 2.0;
+  EXPECT_NEAR(st.muxdiff_mean, mean, 1e-12);
+}
+
+TEST(DatapathStats, MuxLengthExcludesDirectConnections) {
+  const Cdfg g = tiny();
+  const Schedule s = list_schedule(g, {2, 1});
+  const RegisterBinding rb = bind_registers(g, s);
+  FuBinding fb;  // every op its own FU: all ports single-source
+  fb.kind_of_fu = {OpKind::kAdd, OpKind::kAdd, OpKind::kMult};
+  fb.fu_of_op = {0, 1, 2};
+  const DatapathStats st = compute_datapath_stats(g, rb, fb);
+  EXPECT_EQ(st.mux_length, 0);
+  EXPECT_EQ(st.largest_mux, 1);
+  EXPECT_DOUBLE_EQ(st.muxdiff_mean, 0.0);
+}
+
+}  // namespace
+}  // namespace hlp

@@ -1,0 +1,90 @@
+// Tests for the LOPASS-style baseline binder.
+#include <gtest/gtest.h>
+
+#include "binding/datapath_stats.hpp"
+#include "binding/register_binder.hpp"
+#include "cdfg/benchmarks.hpp"
+#include "common/error.hpp"
+#include "lopass/lopass.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace hlp {
+namespace {
+
+TEST(Lopass, BindsTinyGraph) {
+  Cdfg g("tiny");
+  const int a = g.add_input("a"), b = g.add_input("b"), c = g.add_input("c");
+  const int s1 = g.add_op("s1", OpKind::kAdd, ValueRef::input(a), ValueRef::input(b));
+  const int s2 = g.add_op("s2", OpKind::kAdd, ValueRef::input(a), ValueRef::input(c));
+  const int m = g.add_op("m", OpKind::kMult, ValueRef::op(s1), ValueRef::op(s2));
+  g.add_output("o", ValueRef::op(m));
+  const Schedule s = list_schedule(g, {2, 1});
+  const ResourceConstraint rc{2, 1};
+  const Binding bind = bind_lopass(g, s, rc);
+  EXPECT_NO_THROW(bind.fus.validate(g, s, rc));
+  EXPECT_NO_THROW(bind.regs.validate(g, s));
+}
+
+TEST(Lopass, RejectsInfeasibleConstraint) {
+  const Cdfg g = make_random_dfg(4, 3, 20, 1);
+  const Schedule s = list_schedule(g, {3, 3});
+  const RegisterBinding rb = bind_registers(g, s);
+  const int density = s.max_density(g, OpKind::kAdd);
+  if (density > 1) {
+    EXPECT_THROW(bind_fus_lopass(g, s, rb, {1, 3}), Error);
+  }
+}
+
+TEST(Lopass, ReusesMuxInputsAcrossSteps) {
+  // Two adds in different steps reading the same registers should share an
+  // FU with no extra mux inputs rather than spread across FUs.
+  Cdfg g("share");
+  const int a = g.add_input("a"), b = g.add_input("b");
+  const int x = g.add_op("x", OpKind::kAdd, ValueRef::input(a), ValueRef::input(b));
+  const int y = g.add_op("y", OpKind::kAdd, ValueRef::op(x), ValueRef::input(b));
+  g.add_output("o", ValueRef::op(y));
+  const Schedule s = list_schedule(g, {2, 1});
+  const RegisterBinding rb = bind_registers(g, s);
+  const FuBinding fb = bind_fus_lopass(g, s, rb, {2, 1});
+  // Sequential dependency: both can (and should) use one adder.
+  EXPECT_EQ(fb.num_fus_of_kind(OpKind::kAdd), 1);
+}
+
+class LopassRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LopassRandom, AlwaysValid) {
+  const Cdfg g = make_random_dfg(6, 4, 30, GetParam());
+  const ResourceConstraint rc{3, 2};
+  const Schedule s = list_schedule(g, rc);
+  const RegisterBinding rb = bind_registers(g, s, GetParam());
+  const FuBinding fb = bind_fus_lopass(g, s, rb, rc);
+  EXPECT_NO_THROW(fb.validate(g, s, rc));
+  // Every op bound.
+  for (int op = 0; op < g.num_ops(); ++op) EXPECT_GE(fb.fu_of_op[op], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LopassRandom, ::testing::Range(0, 20));
+
+TEST(Lopass, DeterministicResult) {
+  const Cdfg g = make_random_dfg(5, 3, 25, 9);
+  const ResourceConstraint rc{2, 2};
+  const Schedule s = list_schedule(g, rc);
+  const RegisterBinding rb = bind_registers(g, s);
+  const FuBinding f1 = bind_fus_lopass(g, s, rb, rc);
+  const FuBinding f2 = bind_fus_lopass(g, s, rb, rc);
+  EXPECT_EQ(f1.fu_of_op, f2.fu_of_op);
+}
+
+TEST(Lopass, AllocationWithinConstraint) {
+  const Cdfg g = make_paper_benchmark("pr");
+  const ResourceConstraint rc{2, 2};
+  const Schedule s = list_schedule(g, rc);
+  const RegisterBinding rb = bind_registers(g, s);
+  const FuBinding fb = bind_fus_lopass(g, s, rb, rc);
+  EXPECT_LE(fb.num_fus_of_kind(OpKind::kAdd), 2);
+  EXPECT_LE(fb.num_fus_of_kind(OpKind::kMult), 2);
+  EXPECT_GE(fb.num_fus_of_kind(OpKind::kAdd), s.max_density(g, OpKind::kAdd));
+}
+
+}  // namespace
+}  // namespace hlp

@@ -1,0 +1,221 @@
+// Tests for truth tables and the core netlist structure.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/timing.hpp"
+#include "netlist/truth_table.hpp"
+
+namespace hlp {
+namespace {
+
+TEST(TruthTable, BasicGates) {
+  EXPECT_EQ(TruthTable::and2().to_string(), "0001");
+  EXPECT_EQ(TruthTable::or2().to_string(), "0111");
+  EXPECT_EQ(TruthTable::xor2().to_string(), "0110");
+  EXPECT_EQ(TruthTable::not1().to_string(), "10");
+  EXPECT_EQ(TruthTable::buf().to_string(), "01");
+}
+
+TEST(TruthTable, EvalMatchesBits) {
+  const TruthTable x = TruthTable::xor2();
+  EXPECT_FALSE(x.eval(0b00));
+  EXPECT_TRUE(x.eval(0b01));
+  EXPECT_TRUE(x.eval(0b10));
+  EXPECT_FALSE(x.eval(0b11));
+}
+
+TEST(TruthTable, Xor3Maj3) {
+  const TruthTable s = TruthTable::xor3();
+  const TruthTable c = TruthTable::maj3();
+  for (std::uint32_t m = 0; m < 8; ++m) {
+    const int pop = __builtin_popcount(m);
+    EXPECT_EQ(s.eval(m), pop % 2 == 1);
+    EXPECT_EQ(c.eval(m), pop >= 2);
+  }
+}
+
+TEST(TruthTable, Mux2Semantics) {
+  const TruthTable m = TruthTable::mux2();
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, s = v & 4;
+    EXPECT_EQ(m.eval(v), s ? b : a);
+  }
+}
+
+TEST(TruthTable, MasksExcessBits) {
+  const TruthTable t(1, 0xFFull);
+  EXPECT_EQ(t.bits(), 0b11ull);
+}
+
+TEST(TruthTable, RejectsTooManyInputs) {
+  EXPECT_THROW(TruthTable(7, 0), Error);
+}
+
+TEST(TruthTable, DependsOn) {
+  const TruthTable m = TruthTable::mux2();
+  EXPECT_TRUE(m.depends_on(0));
+  EXPECT_TRUE(m.depends_on(1));
+  EXPECT_TRUE(m.depends_on(2));
+  // f = a (ignores b): bits for (a,b): rows 01 and 11 are 1.
+  const TruthTable just_a(2, 0b1010);
+  EXPECT_TRUE(just_a.depends_on(0));
+  EXPECT_FALSE(just_a.depends_on(1));
+}
+
+TEST(TruthTable, CompressDropsUnused) {
+  const TruthTable just_b(2, 0b1100);  // f = b
+  std::uint32_t kept = 0;
+  const TruthTable c = just_b.compress(&kept);
+  EXPECT_EQ(c.num_inputs(), 1);
+  EXPECT_EQ(kept, 0b10u);
+  EXPECT_EQ(c.to_string(), "01");
+}
+
+TEST(TruthTable, Constants) {
+  EXPECT_EQ(TruthTable::const0().num_inputs(), 0);
+  EXPECT_FALSE(TruthTable::const0().eval(0));
+  EXPECT_TRUE(TruthTable::const1().eval(0));
+}
+
+TEST(Netlist, BuildAndQuery) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId y = n.add_gate_net("y", {a, b}, TruthTable::and2());
+  n.add_output(y);
+  n.validate();
+  EXPECT_EQ(n.num_nets(), 3);
+  EXPECT_EQ(n.num_gates(), 1);
+  EXPECT_TRUE(n.is_input(a));
+  EXPECT_FALSE(n.is_input(y));
+  EXPECT_EQ(n.driver_gate(y), 0);
+  EXPECT_EQ(n.driver_gate(a), -1);
+  EXPECT_EQ(n.find_net("b"), b);
+  EXPECT_EQ(n.find_net("zz"), kNoNet);
+}
+
+TEST(Netlist, RejectsDoubleDriver) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId y = n.add_gate_net("y", {a}, TruthTable::buf());
+  EXPECT_THROW(n.add_gate(y, {a}, TruthTable::not1()), Error);
+  EXPECT_THROW(n.add_gate(a, {y}, TruthTable::buf()), Error);
+}
+
+TEST(Netlist, RejectsDuplicateName) {
+  Netlist n("t");
+  n.add_input("a");
+  EXPECT_THROW(n.add_net("a"), Error);
+}
+
+TEST(Netlist, RejectsArityMismatch) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId y = n.add_net("y");
+  EXPECT_THROW(n.add_gate(y, {a}, TruthTable::and2()), Error);
+}
+
+TEST(Netlist, UndrivenNetFailsValidate) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  n.add_net("floating");
+  const NetId y = n.add_gate_net("y", {a}, TruthTable::buf());
+  n.add_output(y);
+  EXPECT_THROW(n.validate(), Error);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId x = n.add_gate_net("x", {a}, TruthTable::not1());
+  const NetId y = n.add_gate_net("y", {x}, TruthTable::not1());
+  n.add_output(y);
+  const auto topo = n.topo_gates();
+  ASSERT_EQ(topo.size(), 2u);
+  EXPECT_LT(topo[0], topo[1]);
+}
+
+TEST(Netlist, LatchBreaksCycle) {
+  // q = latch(d), d = NOT q: a classic toggle flop; combinationally acyclic.
+  Netlist n("t");
+  const NetId q = n.add_net("q");
+  const NetId d = n.add_gate_net("d", {q}, TruthTable::not1());
+  n.add_latch(q, d);
+  n.add_output(q);
+  EXPECT_NO_THROW(n.validate());
+  EXPECT_TRUE(n.is_latch_output(q));
+  EXPECT_TRUE(n.is_comb_source(q));
+}
+
+TEST(Netlist, DepthAndLevels) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId x = n.add_gate_net("x", {a, b}, TruthTable::and2());
+  const NetId y = n.add_gate_net("y", {x, b}, TruthTable::or2());
+  n.add_output(y);
+  EXPECT_EQ(n.depth(), 2);
+  const auto lv = n.net_levels();
+  EXPECT_EQ(lv[a], 0);
+  EXPECT_EQ(lv[x], 1);
+  EXPECT_EQ(lv[y], 2);
+}
+
+TEST(Netlist, FanoutCounts) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId x = n.add_gate_net("x", {a, a}, TruthTable::and2());
+  n.add_output(x);
+  n.add_output(x);
+  const auto fo = n.fanout_counts();
+  EXPECT_EQ(fo[a], 2);  // both gate pins
+  EXPECT_EQ(fo[x], 2);  // both PO references
+}
+
+TEST(Netlist, InstantiateConnectsPortsInOrder) {
+  Netlist sub("inv2");
+  const NetId i0 = sub.add_input("i0");
+  const NetId i1 = sub.add_input("i1");
+  sub.add_output(sub.add_gate_net("o0", {i0}, TruthTable::not1()));
+  sub.add_output(sub.add_gate_net("o1", {i1}, TruthTable::buf()));
+
+  Netlist top("top");
+  const NetId a = top.add_input("a");
+  const NetId b = top.add_input("b");
+  const auto outs = top.instantiate(sub, {a, b}, "u0_");
+  ASSERT_EQ(outs.size(), 2u);
+  for (NetId o : outs) top.add_output(o);
+  EXPECT_NO_THROW(top.validate());
+  EXPECT_EQ(top.num_gates(), 2);
+  EXPECT_NE(top.find_net("u0_o0"), kNoNet);
+}
+
+TEST(Netlist, InstantiateWrongArityThrows) {
+  Netlist sub("s");
+  sub.add_input("i");
+  sub.add_output(sub.add_gate_net("o", {0}, TruthTable::buf()));
+  Netlist top("t");
+  EXPECT_THROW(top.instantiate(sub, {}, "x_"), Error);
+}
+
+TEST(Timing, PeriodScalesWithDepth) {
+  Netlist shallow("s");
+  const NetId a = shallow.add_input("a");
+  shallow.add_output(shallow.add_gate_net("y", {a}, TruthTable::not1()));
+  Netlist deep("d");
+  NetId cur = deep.add_input("a");
+  for (int i = 0; i < 5; ++i)
+    cur = deep.add_gate_net("n" + std::to_string(i), {cur}, TruthTable::not1());
+  deep.add_output(cur);
+  EXPECT_EQ(logic_depth(shallow), 1);
+  EXPECT_EQ(logic_depth(deep), 5);
+  EXPECT_LT(clock_period_ns(shallow), clock_period_ns(deep));
+  const TimingModel tm;
+  EXPECT_NEAR(clock_period_ns(deep),
+              5 * (tm.lut_delay_ns + tm.net_delay_ns) + tm.reg_overhead_ns,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace hlp

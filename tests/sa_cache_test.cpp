@@ -1,0 +1,118 @@
+// Tests for the precalculated SA table (Section 5.2.2): cache/dynamic
+// agreement, persistence round-trip, and monotonicity of the SA values in
+// mux size (bigger input stages -> more estimated switching).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "power/sa_cache.hpp"
+
+namespace hlp {
+namespace {
+
+// Small width keeps partial-datapath mapping fast in unit tests.
+SaCache small_cache() { return SaCache(4); }
+
+TEST(SaCache, CachedEqualsUncached) {
+  // "This method provided us with the same results as running the
+  // algorithm with dynamic SA estimation" — exact agreement required.
+  SaCache c = small_cache();
+  const double cached = c.switching_activity(OpKind::kAdd, 2, 3);
+  const double dynamic = c.compute_uncached(OpKind::kAdd, 2, 3);
+  EXPECT_DOUBLE_EQ(cached, dynamic);
+}
+
+TEST(SaCache, MemoisesLookups) {
+  SaCache c = small_cache();
+  c.switching_activity(OpKind::kAdd, 2, 2);
+  const auto misses_before = c.misses();
+  c.switching_activity(OpKind::kAdd, 2, 2);
+  EXPECT_EQ(c.misses(), misses_before);
+  c.switching_activity(OpKind::kAdd, 2, 3);
+  EXPECT_EQ(c.misses(), misses_before + 1);
+}
+
+TEST(SaCache, PositiveAndFinite) {
+  SaCache c = small_cache();
+  for (int a = 1; a <= 3; ++a)
+    for (int b = 1; b <= 3; ++b) {
+      const double sa = c.switching_activity(OpKind::kMult, a, b);
+      EXPECT_GT(sa, 0.0);
+      EXPECT_LT(sa, 1e6);
+    }
+}
+
+TEST(SaCache, MultExceedsAdd) {
+  SaCache c = small_cache();
+  EXPECT_GT(c.switching_activity(OpKind::kMult, 2, 2),
+            c.switching_activity(OpKind::kAdd, 2, 2));
+}
+
+TEST(SaCache, GrowsWithMuxSize) {
+  // More mux arms -> more logic -> more estimated SA. This is what makes
+  // Eq. 4's 1/SA term area-aware.
+  SaCache c = small_cache();
+  const double s11 = c.switching_activity(OpKind::kAdd, 1, 1);
+  const double s22 = c.switching_activity(OpKind::kAdd, 2, 2);
+  const double s44 = c.switching_activity(OpKind::kAdd, 4, 4);
+  EXPECT_LT(s11, s22);
+  EXPECT_LT(s22, s44);
+}
+
+TEST(SaCache, PrecomputeFillsAllCombinations) {
+  SaCache c = small_cache();
+  c.precompute(2, 2);
+  EXPECT_EQ(c.size(), 2u * 2u * 2u);  // kinds * a-sizes * b-sizes
+  const auto misses = c.misses();
+  c.switching_activity(OpKind::kAdd, 2, 2);
+  c.switching_activity(OpKind::kMult, 1, 2);
+  EXPECT_EQ(c.misses(), misses);
+}
+
+TEST(SaCache, SaveLoadRoundTrip) {
+  SaCache a = small_cache();
+  a.precompute(2, 2);
+  std::ostringstream text;
+  a.save(text);
+
+  SaCache b = small_cache();
+  std::istringstream in(text.str());
+  b.load(in);
+  EXPECT_EQ(b.size(), a.size());
+  // Loaded values answer without recomputation and agree exactly.
+  EXPECT_DOUBLE_EQ(b.switching_activity(OpKind::kMult, 2, 1),
+                   a.switching_activity(OpKind::kMult, 2, 1));
+  EXPECT_EQ(b.misses(), 0u);
+}
+
+TEST(SaCache, FilePersistence) {
+  const std::string path = ::testing::TempDir() + "/sa_cache_test.txt";
+  {
+    SaCache a = small_cache();
+    a.switching_activity(OpKind::kAdd, 3, 1);
+    a.save_file(path);
+  }
+  SaCache b = small_cache();
+  b.load_file(path);
+  EXPECT_EQ(b.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SaCache, LoadRejectsMalformed) {
+  SaCache c = small_cache();
+  std::istringstream bad("add 1\n");
+  EXPECT_THROW(c.load(bad), Error);
+  std::istringstream badkind("div 1 1 3.0\n");
+  EXPECT_THROW(c.load(badkind), Error);
+}
+
+TEST(SaCache, RejectsBadArguments) {
+  SaCache c = small_cache();
+  EXPECT_THROW(c.switching_activity(OpKind::kAdd, 0, 1), Error);
+  EXPECT_THROW(SaCache(0), Error);
+}
+
+}  // namespace
+}  // namespace hlp

@@ -1,0 +1,185 @@
+// Tests for ASAP/ALAP and the resource-constrained list scheduler,
+// including schedule validity properties over random DFGs.
+#include <gtest/gtest.h>
+
+#include "cdfg/benchmarks.hpp"
+#include "common/error.hpp"
+#include "sched/asap_alap.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp {
+namespace {
+
+Cdfg chain3() {
+  // ((a+b)+c)+d — a pure chain, depth 3.
+  Cdfg g("chain3");
+  const int a = g.add_input("a"), b = g.add_input("b"), c = g.add_input("c"),
+            d = g.add_input("d");
+  const int x = g.add_op("x", OpKind::kAdd, ValueRef::input(a), ValueRef::input(b));
+  const int y = g.add_op("y", OpKind::kAdd, ValueRef::op(x), ValueRef::input(c));
+  const int z = g.add_op("z", OpKind::kAdd, ValueRef::op(y), ValueRef::input(d));
+  g.add_output("o", ValueRef::op(z));
+  return g;
+}
+
+Cdfg wide4() {
+  // Four independent adds.
+  Cdfg g("wide4");
+  const int a = g.add_input("a"), b = g.add_input("b");
+  for (int i = 0; i < 4; ++i)
+    g.add_output("o" + std::to_string(i),
+                 ValueRef::op(g.add_op("x" + std::to_string(i), OpKind::kAdd,
+                                       ValueRef::input(a), ValueRef::input(b))));
+  return g;
+}
+
+TEST(Asap, ChainTakesDepthSteps) {
+  const Cdfg g = chain3();
+  const Schedule s = asap_schedule(g);
+  EXPECT_EQ(s.num_steps, 3);
+  EXPECT_EQ(s.cstep_of_op[0], 0);
+  EXPECT_EQ(s.cstep_of_op[1], 1);
+  EXPECT_EQ(s.cstep_of_op[2], 2);
+  EXPECT_NO_THROW(s.validate(g));
+}
+
+TEST(Asap, WideGraphAllAtStepZero) {
+  const Schedule s = asap_schedule(wide4());
+  for (int c : s.cstep_of_op) EXPECT_EQ(c, 0);
+}
+
+TEST(Alap, PushesLateWithSlack) {
+  const Cdfg g = chain3();
+  const Schedule s = alap_schedule(g, 5);
+  EXPECT_EQ(s.cstep_of_op[2], 4);  // last op at the last step
+  EXPECT_EQ(s.cstep_of_op[0], 2);
+  EXPECT_NO_THROW(s.validate(g));
+}
+
+TEST(Alap, RejectsLatencyBelowDepth) {
+  EXPECT_THROW(alap_schedule(chain3(), 2), Error);
+}
+
+TEST(Alap, EqualsAsapWhenTight) {
+  const Cdfg g = chain3();
+  const Schedule asap = asap_schedule(g);
+  const Schedule alap = alap_schedule(g, g.depth());
+  EXPECT_EQ(asap.cstep_of_op, alap.cstep_of_op);
+}
+
+TEST(ListSchedule, RespectsResourceLimit) {
+  const Cdfg g = wide4();
+  const Schedule s = list_schedule(g, {2, 1});
+  EXPECT_NO_THROW(s.validate_resources(g, {2, 1}));
+  EXPECT_EQ(s.num_steps, 2);  // 4 adds / 2 adders
+}
+
+TEST(ListSchedule, SingleResourceSerialises) {
+  const Schedule s = list_schedule(wide4(), {1, 1});
+  EXPECT_EQ(s.num_steps, 4);
+}
+
+TEST(ListSchedule, MinLatencyStretches) {
+  const Schedule s = list_schedule(wide4(), {4, 1}, 9);
+  EXPECT_EQ(s.num_steps, 9);
+  EXPECT_NO_THROW(s.validate(wide4()));
+}
+
+TEST(ListSchedule, NeedsAResourcePerUsedKind) {
+  EXPECT_THROW(list_schedule(wide4(), {0, 1}), Error);
+}
+
+TEST(Schedule, ValidateCatchesPrecedenceViolation) {
+  const Cdfg g = chain3();
+  Schedule s = asap_schedule(g);
+  s.cstep_of_op[1] = 0;  // y now runs with x
+  EXPECT_THROW(s.validate(g), Error);
+}
+
+TEST(Schedule, ValidateCatchesRange) {
+  const Cdfg g = chain3();
+  Schedule s = asap_schedule(g);
+  s.cstep_of_op[0] = -1;
+  EXPECT_THROW(s.validate(g), Error);
+}
+
+TEST(Schedule, OccupancyAndDensity) {
+  const Cdfg g = wide4();
+  const Schedule s = list_schedule(g, {2, 1});
+  EXPECT_EQ(s.max_density(g, OpKind::kAdd), 2);
+  EXPECT_EQ(s.max_density(g, OpKind::kMult), 0);
+  const auto dense = s.densest_step_ops(g, OpKind::kAdd);
+  EXPECT_EQ(dense.size(), 2u);
+}
+
+TEST(Schedule, ValidateResourcesCatchesOverflow) {
+  const Cdfg g = wide4();
+  Schedule s = asap_schedule(g);  // all 4 at step 0
+  EXPECT_THROW(s.validate_resources(g, {2, 1}), Error);
+}
+
+TEST(ListSchedule, SameValueBothPorts) {
+  Cdfg g("square");
+  const int a = g.add_input("a"), b = g.add_input("b");
+  const int s1 = g.add_op("s1", OpKind::kAdd, ValueRef::input(a), ValueRef::input(b));
+  const int sq = g.add_op("sq", OpKind::kMult, ValueRef::op(s1), ValueRef::op(s1));
+  g.add_output("o", ValueRef::op(sq));
+  const Schedule s = list_schedule(g, {1, 1});
+  EXPECT_NO_THROW(s.validate(g));
+  EXPECT_EQ(s.cstep_of_op[sq], s.cstep_of_op[s1] + 1);
+}
+
+struct SchedCase {
+  int seed;
+  int adders;
+  int mults;
+};
+
+class ListScheduleRandom : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(ListScheduleRandom, ValidAndResourceCompliant) {
+  const auto [seed, adders, mults] = GetParam();
+  const Cdfg g = make_random_dfg(5, 4, 40, seed);
+  const ResourceConstraint rc{adders, mults};
+  const Schedule s = list_schedule(g, rc);
+  EXPECT_NO_THROW(s.validate_resources(g, rc.as_vector()));
+  // Lower bounds: depth and ceil(ops/limit).
+  EXPECT_GE(s.num_steps, g.depth());
+  const int adds = g.num_ops_of_kind(OpKind::kAdd);
+  EXPECT_GE(s.num_steps, (adds + adders - 1) / adders);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ListScheduleRandom,
+    ::testing::Values(SchedCase{1, 1, 1}, SchedCase{2, 2, 1}, SchedCase{3, 2, 2},
+                      SchedCase{4, 3, 2}, SchedCase{5, 1, 3}, SchedCase{6, 4, 4},
+                      SchedCase{7, 2, 3}, SchedCase{8, 5, 5}));
+
+class PaperBenchSchedule : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PaperBenchSchedule, Table2ConstraintsAreFeasible) {
+  // Table 2 resource constraints per benchmark.
+  struct Rc {
+    const char* name;
+    int add, mult;
+  };
+  static const Rc table2[] = {{"chem", 9, 7}, {"dir", 3, 2},  {"honda", 4, 4},
+                              {"mcm", 4, 2},  {"pr", 2, 2},   {"steam", 7, 6},
+                              {"wang", 2, 2}};
+  for (const auto& rc : table2) {
+    if (GetParam() != rc.name) continue;
+    const Cdfg g = make_paper_benchmark(rc.name);
+    const Schedule s = list_schedule(g, {rc.add, rc.mult});
+    EXPECT_NO_THROW(s.validate_resources(g, {rc.add, rc.mult}));
+    EXPECT_LE(s.max_density(g, OpKind::kAdd), rc.add);
+    EXPECT_LE(s.max_density(g, OpKind::kMult), rc.mult);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, PaperBenchSchedule,
+                         ::testing::Values("chem", "dir", "honda", "mcm", "pr",
+                                           "steam", "wang"));
+
+}  // namespace
+}  // namespace hlp

@@ -1,0 +1,215 @@
+// Tests for the event-driven unit-delay simulator: functional behaviour,
+// glitch counting on canonical structures, latch semantics, determinism.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/modules.hpp"
+#include "sim/schedule_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vectors.hpp"
+
+namespace hlp {
+namespace {
+
+TEST(Vectors, DeterministicAndShaped) {
+  const auto a = random_vectors(10, 7, 42);
+  const auto b = random_vectors(10, 7, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a[0].size(), 7u);
+  const auto c = random_vectors(10, 7, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Vectors, WordsWithinWidth) {
+  const auto w = random_words(100, 5, 7);
+  for (auto v : w) EXPECT_LT(v, 32u);
+}
+
+TEST(Simulator, CombinationalFunction) {
+  Netlist n("t");
+  const NetId a = n.add_input("a"), b = n.add_input("b");
+  const NetId y = n.add_gate_net("y", {a, b}, TruthTable::and2());
+  n.add_output(y);
+  UnitDelaySimulator sim(n);
+  sim.set_input(a, true);
+  sim.set_input(b, true);
+  sim.settle();
+  EXPECT_TRUE(sim.value(y));
+  sim.set_input(b, false);
+  sim.settle();
+  EXPECT_FALSE(sim.value(y));
+}
+
+TEST(Simulator, InitialStateConsistent) {
+  // An inverter chain from 0 inputs must come up internally consistent.
+  Netlist n("inv");
+  NetId cur = n.add_input("a");
+  for (int i = 0; i < 3; ++i)
+    cur = n.add_gate_net("n" + std::to_string(i), {cur}, TruthTable::not1());
+  n.add_output(cur);
+  UnitDelaySimulator sim(n);
+  EXPECT_TRUE(sim.value(cur));  // NOT(NOT(NOT(0))) = 1 before any settle
+}
+
+TEST(Simulator, SettleStepsEqualDepth) {
+  // A change must take exactly `depth` unit steps to reach the output.
+  Netlist n("chain");
+  NetId cur = n.add_input("a");
+  for (int i = 0; i < 5; ++i)
+    cur = n.add_gate_net("n" + std::to_string(i), {cur}, TruthTable::buf());
+  n.add_output(cur);
+  UnitDelaySimulator sim(n);
+  sim.set_input(n.inputs()[0], true);
+  EXPECT_EQ(sim.settle(), 6);  // t=0 applies the PI, 5 more to ripple
+}
+
+TEST(Simulator, StaticHazardGlitchCounted) {
+  // y = a OR NOT(a): statically 1, but a rising a reaches the OR before
+  // NOT(a) falls... actually a falling a makes y glitch: a=1->0; path via
+  // NOT has one extra level, so y sees (a=0, na still 0) -> dips to 0.
+  Netlist n("hazard");
+  const NetId a = n.add_input("a");
+  const NetId na = n.add_gate_net("na", {a}, TruthTable::not1());
+  const NetId y = n.add_gate_net("y", {a, na}, TruthTable::or2());
+  n.add_output(y);
+
+  UnitDelaySimulator sim(n);
+  sim.set_input(a, true);
+  sim.settle();
+  sim.clear_toggles();
+  sim.set_input(a, false);
+  sim.settle();
+  // y ends at 1 (no net functional change) but toggled twice: 1->0->1.
+  EXPECT_TRUE(sim.value(y));
+  EXPECT_EQ(sim.toggles()[y], 2u);
+
+  // Zero-delay reference: same stimulus, no glitch.
+  UnitDelaySimulator zd(n);
+  zd.set_input(a, true);
+  zd.settle_zero_delay();
+  zd.clear_toggles();
+  zd.set_input(a, false);
+  zd.settle_zero_delay();
+  EXPECT_EQ(zd.toggles()[y], 0u);
+}
+
+TEST(Simulator, ZeroDelayAndUnitDelayAgreeOnFinalValues) {
+  const Netlist m = make_multiplier(4);
+  UnitDelaySimulator ud(m), zd(m);
+  const auto vec = random_vectors(30, static_cast<int>(m.inputs().size()), 9);
+  for (const auto& frame : vec) {
+    for (std::size_t j = 0; j < frame.size(); ++j) {
+      ud.set_input(m.inputs()[j], frame[j]);
+      zd.set_input(m.inputs()[j], frame[j]);
+    }
+    ud.settle();
+    zd.settle_zero_delay();
+    for (NetId o : m.outputs()) EXPECT_EQ(ud.value(o), zd.value(o));
+  }
+}
+
+TEST(Simulator, UnitDelayTogglesAtLeastZeroDelay) {
+  const Netlist m = make_multiplier(4);
+  UnitDelaySimulator ud(m), zd(m);
+  const auto vec = random_vectors(50, static_cast<int>(m.inputs().size()), 11);
+  for (const auto& frame : vec) {
+    for (std::size_t j = 0; j < frame.size(); ++j) {
+      ud.set_input(m.inputs()[j], frame[j]);
+      zd.set_input(m.inputs()[j], frame[j]);
+    }
+    ud.settle();
+    zd.settle_zero_delay();
+  }
+  EXPECT_GE(ud.total_toggles(), zd.total_toggles());
+  EXPECT_GT(ud.total_toggles(), 0u);
+}
+
+TEST(Simulator, LatchSampleThenPropagate) {
+  // q = latch(d); y = NOT q. Setting d only changes y after a clock edge.
+  Netlist n("seq");
+  const NetId d_in = n.add_input("d");
+  const NetId q = n.add_net("q");
+  n.add_latch(q, d_in);
+  const NetId y = n.add_gate_net("y", {q}, TruthTable::not1());
+  n.add_output(y);
+  UnitDelaySimulator sim(n);
+  EXPECT_TRUE(sim.value(y));
+  sim.set_input(d_in, true);
+  sim.settle();
+  EXPECT_TRUE(sim.value(y));  // not yet clocked
+  sim.clock_edge();
+  sim.settle();
+  EXPECT_FALSE(sim.value(y));
+}
+
+TEST(Simulator, ToggleFlipFlop) {
+  // d = NOT q: q alternates every clock edge.
+  Netlist n("tff");
+  const NetId q = n.add_net("q");
+  const NetId d = n.add_gate_net("d", {q}, TruthTable::not1());
+  n.add_latch(q, d);
+  n.add_output(q);
+  UnitDelaySimulator sim(n);
+  bool expect_q = false;
+  for (int cyc = 0; cyc < 6; ++cyc) {
+    EXPECT_EQ(sim.value(q), expect_q);
+    sim.clock_edge();
+    sim.settle();
+    expect_q = !expect_q;
+  }
+}
+
+TEST(Simulator, SetInputRejectsNonInput) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId y = n.add_gate_net("y", {a}, TruthTable::buf());
+  n.add_output(y);
+  UnitDelaySimulator sim(n);
+  EXPECT_THROW(sim.set_input(y, true), Error);
+}
+
+TEST(Simulator, ResetClearsState) {
+  Netlist n("t");
+  const NetId a = n.add_input("a");
+  const NetId y = n.add_gate_net("y", {a}, TruthTable::buf());
+  n.add_output(y);
+  UnitDelaySimulator sim(n);
+  sim.set_input(a, true);
+  sim.settle();
+  EXPECT_GT(sim.total_toggles(), 0u);
+  sim.reset();
+  EXPECT_EQ(sim.total_toggles(), 0u);
+  EXPECT_FALSE(sim.value(y));
+}
+
+TEST(ScheduleSim, CountsFunctionalVsGlitch) {
+  // The hazard circuit from above driven through frames.
+  Netlist n("hazard");
+  const NetId a = n.add_input("a");
+  const NetId na = n.add_gate_net("na", {a}, TruthTable::not1());
+  const NetId y = n.add_gate_net("y", {a, na}, TruthTable::or2());
+  n.add_output(y);
+  const std::vector<std::vector<char>> frames = {{1}, {0}, {1}, {0}};
+  const CycleSimStats st = simulate_frames(n, frames);
+  EXPECT_EQ(st.num_cycles, 4u);
+  EXPECT_GT(st.glitch_transitions(), 0u);
+  EXPECT_GT(st.total_transitions, st.functional_transitions);
+}
+
+TEST(ScheduleSim, DeterministicAcrossRuns) {
+  const Netlist m = make_multiplier(3);
+  const auto frames = random_vectors(40, static_cast<int>(m.inputs().size()), 21);
+  const CycleSimStats a = simulate_frames(m, frames);
+  const CycleSimStats b = simulate_frames(m, frames);
+  EXPECT_EQ(a.total_transitions, b.total_transitions);
+  EXPECT_EQ(a.toggles, b.toggles);
+}
+
+TEST(ScheduleSim, FrameArityChecked) {
+  const Netlist m = make_adder(2);
+  EXPECT_THROW(simulate_frames(m, {{1, 0}}), Error);
+}
+
+}  // namespace
+}  // namespace hlp
