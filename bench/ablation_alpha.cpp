@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "core/hlpower.hpp"
 
 namespace {
 
@@ -18,22 +19,30 @@ void print_alpha_sweep() {
   const std::vector<std::string> subset = {"pr", "wang", "mcm", "honda"};
   AsciiTable t({"Bench", "alpha", "Power (mW)", "Toggle (M/s)", "LUTs",
                 "MuxLen", "muxDiff mean"});
-  for (const auto& name : subset) {
-    const Setup& su = setup(name);
+  // One grid through the runner: (benchmark x alpha), HLP_JOBS threads.
+  std::vector<flow::Job> jobs;
+  for (const auto& name : subset)
     for (double a : alphas) {
-      HlpowerParams hp;
-      hp.weight.alpha = a;
-      const auto r = bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache(), hp);
-      const Evaluated ev = evaluate(su, r.fus, 0.0);
-      t.row()
-          .add(name)
-          .add(a, 2)
-          .add(ev.flow.report.dynamic_power_mw, 1)
-          .add(ev.flow.report.toggle_rate_mps, 2)
-          .add(ev.flow.mapped.num_luts)
-          .add(ev.mux.mux_length)
-          .add(ev.mux.muxdiff_mean, 2);
+      flow::BinderSpec spec{"hlpower"};
+      spec.alpha = a;
+      jobs.push_back(job(name, spec));
     }
+  const auto results = runner().run(jobs);
+  for (const auto& res : results) {
+    if (!res.ok) {
+      std::cerr << "job " << res.job.benchmark << " failed: " << res.error
+                << "\n";
+      continue;
+    }
+    const Evaluated ev = to_evaluated(res.outcome);
+    t.row()
+        .add(res.job.benchmark)
+        .add(res.job.binder.alpha, 2)
+        .add(ev.flow.report.dynamic_power_mw, 1)
+        .add(ev.flow.report.toggle_rate_mps, 2)
+        .add(ev.flow.mapped.num_luts)
+        .add(ev.mux.mux_length)
+        .add(ev.mux.muxdiff_mean, 2);
   }
   std::cout << "Ablation: alpha sweep (Eq. 4 weighting; SA term vs "
                "mux-balancing term)\n";
@@ -44,10 +53,11 @@ void print_alpha_sweep() {
 void BM_BindAlphaHalf(benchmark::State& state) {
   using namespace hlp;
   using namespace hlp::bench;
-  const Setup& su = setup("mcm");
+  flow::FlowContext& ctx = context("mcm");
   for (auto _ : state)
-    benchmark::DoNotOptimize(
-        bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache()));
+    benchmark::DoNotOptimize(bind_fus_hlpower(ctx.cdfg(), ctx.schedule(),
+                                              ctx.regs(), ctx.rc(),
+                                              sa_cache()));
 }
 BENCHMARK(BM_BindAlphaHalf)->Unit(benchmark::kMillisecond);
 

@@ -29,25 +29,38 @@ void print_beta_sweep() {
   const std::vector<std::string> subset = {"pr", "mcm"};
   AsciiTable t({"Bench", "beta add/mult", "Power (mW)", "Toggle (M/s)",
                 "LUTs", "MuxLen", "muxDiff mean", "note"});
-  for (const auto& name : subset) {
-    const Setup& su = setup(name);
+  // Grid through the runner: the beta pairs ride in the BinderSpec, so the
+  // sweep is (benchmark x spec) jobs over the shared contexts.
+  std::vector<flow::Job> jobs;
+  std::vector<const char*> notes;
+  for (const auto& name : subset)
     for (const auto& bp : betas) {
-      HlpowerParams hp;
-      hp.weight.alpha = 0.5;
-      hp.weight.beta_add = bp.add;
-      hp.weight.beta_mult = bp.mult;
-      const auto r = bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache(), hp);
-      const Evaluated ev = evaluate(su, r.fus, 0.0);
-      t.row()
-          .add(name)
-          .add(fmt_fixed(bp.add, 0) + "/" + fmt_fixed(bp.mult, 0))
-          .add(ev.flow.report.dynamic_power_mw, 1)
-          .add(ev.flow.report.toggle_rate_mps, 2)
-          .add(ev.flow.mapped.num_luts)
-          .add(ev.mux.mux_length)
-          .add(ev.mux.muxdiff_mean, 2)
-          .add(bp.note);
+      flow::BinderSpec spec{"hlpower"};
+      spec.alpha = 0.5;
+      spec.beta_add = bp.add;
+      spec.beta_mult = bp.mult;
+      jobs.push_back(job(name, spec));
+      notes.push_back(bp.note);
     }
+  const auto results = runner().run(jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& res = results[i];
+    if (!res.ok) {
+      std::cerr << "job " << res.job.benchmark << " failed: " << res.error
+                << "\n";
+      continue;
+    }
+    const Evaluated ev = to_evaluated(res.outcome);
+    t.row()
+        .add(res.job.benchmark)
+        .add(fmt_fixed(res.job.binder.beta_add, 0) + "/" +
+             fmt_fixed(res.job.binder.beta_mult, 0))
+        .add(ev.flow.report.dynamic_power_mw, 1)
+        .add(ev.flow.report.toggle_rate_mps, 2)
+        .add(ev.flow.mapped.num_luts)
+        .add(ev.mux.mux_length)
+        .add(ev.mux.muxdiff_mean, 2)
+        .add(notes[i]);
   }
   std::cout << "Ablation: beta sweep (Eq. 4 mux-term scaling, alpha=0.5)\n";
   t.print(std::cout);

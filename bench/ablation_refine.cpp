@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <tuple>
 
 #include "bench_common.hpp"
 #include "common/strings.hpp"
@@ -20,16 +21,22 @@ void print_refine_study() {
                 "toggle before (M/s)", "toggle after", "chg%"});
   for (const auto& name : {std::string("pr"), std::string("wang"),
                            std::string("mcm")}) {
-    const Setup& su = setup(name);
     const Comparison& cmp = comparison(name);
-    for (const auto& [tag, ev] :
-         {std::pair<const char*, const Evaluated*>{"LOPASS", &cmp.lopass},
-          {"HLPower", &cmp.hlp_half}}) {
-      const PortRefineResult pr =
-          refine_ports(su.g, su.regs, ev->fus, sa_cache());
-      const Evaluated refined = evaluate(su, pr.fus, 0.0);
+    for (const auto& [tag, binder, ev] :
+         {std::tuple<const char*, const char*, const Evaluated*>{
+              "LOPASS", "lopass", &cmp.lopass},
+          {"HLPower", "hlpower", &cmp.hlp_half}}) {
+      // Same binder with the pipeline's refine stage switched on; the
+      // outcome carries the PortRefineResult of that stage.
+      flow::RunSpec spec;
+      spec.binder.name = binder;
+      spec.binder.refine = true;
+      spec.num_vectors = bench_vectors();
+      const flow::PipelineOutcome out =
+          flow::Pipeline::standard().run(context(name), spec);
+      const PortRefineResult& pr = out.refine;
       const double before = ev->flow.report.toggle_rate_mps;
-      const double after = refined.flow.report.toggle_rate_mps;
+      const double after = out.flow.report.toggle_rate_mps;
       t.row()
           .add(name)
           .add(tag)
@@ -48,11 +55,11 @@ void print_refine_study() {
 void BM_RefinePorts(benchmark::State& state) {
   using namespace hlp;
   using namespace hlp::bench;
-  const Setup& su = setup("mcm");
+  flow::FlowContext& ctx = context("mcm");
   const Comparison& cmp = comparison("mcm");
   for (auto _ : state)
     benchmark::DoNotOptimize(
-        refine_ports(su.g, su.regs, cmp.hlp_half.fus, sa_cache()));
+        refine_ports(ctx.cdfg(), ctx.regs(), cmp.hlp_half.fus, sa_cache()));
 }
 BENCHMARK(BM_RefinePorts)->Unit(benchmark::kMillisecond);
 

@@ -13,6 +13,7 @@
 #include "bench_common.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "core/hlpower.hpp"
 
 namespace {
 
@@ -37,14 +38,14 @@ void print_sacache_study() {
             << " (kind, muxA, muxB) combinations\n";
 
   // Speedup: bind `pr` with a warm cache vs a cold cache per edge weight.
-  const Setup& su = setup("pr");
+  flow::FlowContext& ctx = context("pr");
   const auto t0 = Clock::now();
-  bind_fus_hlpower(su.g, su.s, su.regs, su.rc, cache);
+  bind_fus_hlpower(ctx.cdfg(), ctx.schedule(), ctx.regs(), ctx.rc(), cache);
   const double warm =
       std::chrono::duration<double>(Clock::now() - t0).count();
   SaCache cold(bench_width());
   const auto t1 = Clock::now();
-  bind_fus_hlpower(su.g, su.s, su.regs, su.rc, cold);
+  bind_fus_hlpower(ctx.cdfg(), ctx.schedule(), ctx.regs(), ctx.rc(), cold);
   const double cold_s =
       std::chrono::duration<double>(Clock::now() - t1).count();
   std::cout << "bind(pr): warm cache " << fmt_fixed(warm * 1e3, 1)

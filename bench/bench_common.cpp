@@ -1,25 +1,18 @@
 #include "bench_common.hpp"
 
-#include <chrono>
 #include <map>
 
-#include "binding/register_binder.hpp"
 #include "common/error.hpp"
 
 namespace hlp::bench {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-}  // namespace
 
 const std::vector<std::string>& names() {
-  static const std::vector<std::string> kNames = {
-      "chem", "dir", "honda", "mcm", "pr", "steam", "wang"};
+  // Derived from the library's Table 1 profile list (paper order).
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> out;
+    for (const auto& profile : paper_benchmarks()) out.push_back(profile.name);
+    return out;
+  }();
   return kNames;
 }
 
@@ -44,62 +37,78 @@ int bench_vectors() {
   return vectors_from_env(200);
 }
 
+int bench_jobs() { return flow::jobs_from_env(2); }
+
 SaCache& sa_cache() {
   static SaCache cache(bench_width());
   return cache;
 }
 
-const Setup& setup(const std::string& name) {
-  static std::map<std::string, Setup> memo;
-  auto it = memo.find(name);
-  if (it != memo.end()) return it->second;
-  const Table2Row row = table2(name);
-  Setup su{make_paper_benchmark(name), {}, {}, {row.adders, row.multipliers}};
-  su.s = list_schedule(su.g, su.rc);
-  su.regs = bind_registers(su.g, su.s);
-  return memo.emplace(name, std::move(su)).first->second;
+flow::ExperimentRunner& runner() {
+  static flow::ExperimentRunner r(bench_jobs(), {}, &sa_cache());
+  return r;
 }
 
-Evaluated evaluate(const Setup& su, const FuBinding& fus,
-                   double bind_seconds) {
+flow::Job job(const std::string& name, const flow::BinderSpec& spec) {
+  const Table2Row row = table2(name);
+  flow::Job j;
+  j.benchmark = name;
+  j.binder = spec;
+  j.rc = {row.adders, row.multipliers};
+  j.width = bench_width();
+  j.num_vectors = bench_vectors();
+  return j;
+}
+
+flow::FlowContext& context(const std::string& name) {
+  return runner().context_for(job(name, {}));
+}
+
+Evaluated to_evaluated(const flow::PipelineOutcome& out) {
   Evaluated ev;
-  ev.fus = fus;
-  ev.bind_seconds = bind_seconds;
-  ev.mux = compute_datapath_stats(su.g, su.regs, fus);
-  FlowParams fp;
-  fp.width = bench_width();
-  fp.num_vectors = bench_vectors();
-  ev.flow = run_flow(su.g, su.s, Binding{su.regs, fus}, fp);
+  ev.fus = out.fus;
+  ev.mux = out.flow.mux_stats;
+  ev.flow = out.flow;
+  ev.bind_seconds = out.bind_seconds;
+  ev.timings = out.timings;
   return ev;
+}
+
+Evaluated evaluate(const std::string& name, const flow::BinderSpec& spec) {
+  flow::RunSpec rs;
+  rs.binder = spec;
+  rs.num_vectors = bench_vectors();
+  return to_evaluated(flow::Pipeline::standard().run(context(name), rs));
 }
 
 const Comparison& comparison(const std::string& name) {
   static std::map<std::string, Comparison> memo;
-  auto it = memo.find(name);
-  if (it != memo.end()) return it->second;
+  static std::mutex memo_mu;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu);
+    auto it = memo.find(name);
+    if (it != memo.end()) return it->second;
+  }
 
-  const Setup& su = setup(name);
+  // The three configurations fan through the runner's thread pool; they
+  // share one context, so schedule + register binding are computed once.
+  flow::BinderSpec lopass{"lopass"};
+  flow::BinderSpec half{"hlpower"};
+  half.alpha = 0.5;
+  flow::BinderSpec one{"hlpower"};
+  one.alpha = 1.0;
+  const std::vector<flow::Job> jobs = {job(name, lopass), job(name, half),
+                                       job(name, one)};
+  const auto results = runner().run(jobs);
   Comparison cmp;
-  {
-    const auto t0 = Clock::now();
-    const FuBinding fus =
-        bind_fus_lopass(su.g, su.s, su.regs, su.rc, LopassParams{bench_width()});
-    cmp.lopass = evaluate(su, fus, seconds_since(t0));
-  }
-  {
-    HlpowerParams hp;
-    hp.weight.alpha = 0.5;
-    const auto t0 = Clock::now();
-    const auto r = bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache(), hp);
-    cmp.hlp_half = evaluate(su, r.fus, seconds_since(t0));
-  }
-  {
-    HlpowerParams hp;
-    hp.weight.alpha = 1.0;
-    const auto t0 = Clock::now();
-    const auto r = bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache(), hp);
-    cmp.hlp_one = evaluate(su, r.fus, seconds_since(t0));
-  }
+  for (std::size_t i = 0; i < results.size(); ++i)
+    HLP_CHECK(results[i].ok, "job '" << name << "' #" << i << " failed: "
+                                     << results[i].error);
+  cmp.lopass = to_evaluated(results[0].outcome);
+  cmp.hlp_half = to_evaluated(results[1].outcome);
+  cmp.hlp_one = to_evaluated(results[2].outcome);
+
+  std::lock_guard<std::mutex> lock(memo_mu);
   return memo.emplace(name, std::move(cmp)).first->second;
 }
 

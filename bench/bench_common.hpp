@@ -1,10 +1,13 @@
-// Shared experiment harness for the paper-reproduction benches.
+// Shared experiment harness for the paper-reproduction benches, built on
+// the src/flow subsystem.
 //
 // Every table/figure binary drives the same controlled pipeline the paper
-// describes in Section 6.1: one scheduled CDFG and one register binding per
-// benchmark (identical for every binder), then LOPASS and HLPower bindings
-// pushed through the identical evaluation flow (elaborate -> map -> time ->
-// simulate -> power).
+// describes in Section 6.1, now expressed as flow::Pipeline stages over a
+// per-benchmark flow::FlowContext (one scheduled CDFG and one register
+// binding per benchmark, identical for every binder). The three binder
+// configurations of the paper's comparison are fanned through the shared
+// flow::ExperimentRunner (HLP_JOBS threads), all feeding one process-wide
+// SA cache.
 #pragma once
 
 #include <string>
@@ -12,11 +15,11 @@
 
 #include "binding/datapath_stats.hpp"
 #include "cdfg/benchmarks.hpp"
-#include "core/hlpower.hpp"
-#include "lopass/lopass.hpp"
+#include "flow/experiment.hpp"
+#include "flow/flow_context.hpp"
+#include "flow/pipeline.hpp"
 #include "power/sa_cache.hpp"
 #include "rtl/flow.hpp"
-#include "sched/list_scheduler.hpp"
 
 namespace hlp::bench {
 
@@ -32,14 +35,9 @@ struct Table2Row {
 };
 Table2Row table2(const std::string& name);
 
-/// Shared per-benchmark setup (schedule + register binding), memoised.
-struct Setup {
-  Cdfg g;
-  Schedule s;
-  RegisterBinding regs;
-  ResourceConstraint rc;
-};
-const Setup& setup(const std::string& name);
+/// Shared per-benchmark context (CDFG + memoised schedule and register
+/// binding under the Table 2 constraint), owned by the runner.
+flow::FlowContext& context(const std::string& name);
 
 /// One binder's full evaluation.
 struct Evaluated {
@@ -47,10 +45,12 @@ struct Evaluated {
   DatapathStats mux;
   FlowResult flow;
   double bind_seconds = 0.0;
+  /// Per-stage wall clock of the pipeline run.
+  std::vector<flow::StageTiming> timings;
 };
 
 /// All three configurations of the paper's comparison, memoised per
-/// (benchmark, vectors). `alpha1` is HLPower with alpha=1 (SA term only).
+/// benchmark. `hlp_one` is HLPower with alpha=1 (SA term only).
 struct Comparison {
   Evaluated lopass;
   Evaluated hlp_half;  // alpha = 0.5 (the paper's headline configuration)
@@ -63,11 +63,25 @@ const Comparison& comparison(const std::string& name);
 int bench_width();
 int bench_vectors();
 
-/// The process-wide SA cache (width = bench_width()).
+/// Worker threads for the experiment grids (HLP_JOBS override, default 2).
+int bench_jobs();
+
+/// The process-wide SA cache (width = bench_width()), shared with the
+/// runner's contexts.
 SaCache& sa_cache();
 
-/// Run one binding through the evaluation flow.
-Evaluated evaluate(const Setup& su, const FuBinding& fus, double bind_seconds);
+/// The process-wide runner every bench fans its jobs through.
+flow::ExperimentRunner& runner();
+
+/// The bench-default job for `name` (Table 2 rc, bench width/vectors).
+flow::Job job(const std::string& name, const flow::BinderSpec& spec);
+
+/// Run one binder configuration through the standard pipeline on the
+/// shared context.
+Evaluated evaluate(const std::string& name, const flow::BinderSpec& spec);
+
+/// Convert a finished pipeline outcome into the bench view.
+Evaluated to_evaluated(const flow::PipelineOutcome& out);
 
 /// Percent change helper: 100 * (b - a) / a.
 double pct(double a, double b);

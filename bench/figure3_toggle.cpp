@@ -44,14 +44,14 @@ void print_figure3() {
 void BM_SimulatePr(benchmark::State& state) {
   using namespace hlp;
   using namespace hlp::bench;
-  const Setup& su = setup("pr");
+  flow::FlowContext& ctx = context("pr");
   const Comparison& cmp = comparison("pr");
-  const Datapath dp = elaborate_datapath(su.g, su.s,
-                                         Binding{su.regs, cmp.hlp_half.fus},
+  const Datapath dp = elaborate_datapath(ctx.cdfg(), ctx.schedule(),
+                                         Binding{ctx.regs(), cmp.hlp_half.fus},
                                          DatapathParams{bench_width()});
   const MapResult mapped = tech_map(dp.netlist);
   const auto samples = std::vector<std::vector<std::uint64_t>>(
-      10, std::vector<std::uint64_t>(su.g.num_inputs(), 0x5a));
+      10, std::vector<std::uint64_t>(ctx.cdfg().num_inputs(), 0x5a));
   const auto frames = make_frames(dp, samples);
   for (auto _ : state)
     benchmark::DoNotOptimize(simulate_frames(mapped.lut_netlist, frames));

@@ -17,7 +17,7 @@ void print_table1() {
                 "Edges(paper)", "Depth"});
   for (const auto& name : bench::names()) {
     const BenchmarkProfile& p = benchmark_profile(name);
-    const Cdfg g = make_paper_benchmark(name);
+    const Cdfg& g = bench::context(name).cdfg();
     t.row()
         .add(name)
         .add(g.num_inputs())

@@ -8,6 +8,7 @@
 #include "bench_common.hpp"
 #include "binding/lifetimes.hpp"
 #include "common/table.hpp"
+#include "core/hlpower.hpp"
 
 namespace {
 
@@ -18,15 +19,15 @@ void print_table2() {
                 "(paper)", "HLPower bind (s)"});
   for (const auto& name : names()) {
     const Table2Row row = table2(name);
-    const Setup& su = setup(name);
+    flow::FlowContext& ctx = context(name);
     const Comparison& cmp = comparison(name);
     t.row()
         .add(name)
         .add(row.adders)
         .add(row.multipliers)
-        .add(su.s.num_steps)
+        .add(ctx.schedule().num_steps)
         .add(row.paper_cycles)
-        .add(su.regs.num_registers)
+        .add(ctx.regs().num_registers)
         .add(row.paper_registers)
         .add(cmp.hlp_half.bind_seconds, 3);
   }
@@ -39,10 +40,11 @@ void BM_HlpowerBind(benchmark::State& state) {
   using namespace hlp;
   using namespace hlp::bench;
   const auto& name = names()[state.range(0)];
-  const Setup& su = setup(name);
+  flow::FlowContext& ctx = context(name);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        bind_fus_hlpower(su.g, su.s, su.regs, su.rc, sa_cache()));
+    benchmark::DoNotOptimize(bind_fus_hlpower(ctx.cdfg(), ctx.schedule(),
+                                              ctx.regs(), ctx.rc(),
+                                              sa_cache()));
   }
   state.SetLabel(name);
 }

@@ -75,14 +75,19 @@ void print_table3() {
 void BM_FullFlowPr(benchmark::State& state) {
   using namespace hlp;
   using namespace hlp::bench;
-  const Setup& su = setup("pr");
+  flow::FlowContext& ctx = context("pr");
   const Comparison& cmp = comparison("pr");
-  FlowParams fp;
-  fp.width = bench_width();
-  fp.num_vectors = 25;
+  // Measure the evaluation flow only (elaborate -> ... -> power), as the
+  // seed did: the bind-fus stage is overridden to inject the precomputed
+  // binding instead of re-running HLPower every iteration.
+  flow::Pipeline pipeline = flow::Pipeline::standard();
+  const FuBinding fus = cmp.hlp_half.fus;
+  pipeline.replace("bind-fus",
+                   [fus](flow::PipelineState& st) { st.out.fus = fus; });
+  flow::RunSpec spec;
+  spec.num_vectors = 25;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        run_flow(su.g, su.s, Binding{su.regs, cmp.hlp_half.fus}, fp));
+    benchmark::DoNotOptimize(pipeline.run(ctx, spec));
   }
 }
 BENCHMARK(BM_FullFlowPr)->Unit(benchmark::kMillisecond);

@@ -52,11 +52,11 @@ void print_table4() {
 void BM_DatapathStats(benchmark::State& state) {
   using namespace hlp;
   using namespace hlp::bench;
-  const Setup& su = setup("chem");
+  flow::FlowContext& ctx = context("chem");
   const Comparison& cmp = comparison("chem");
   for (auto _ : state)
     benchmark::DoNotOptimize(
-        compute_datapath_stats(su.g, su.regs, cmp.hlp_half.fus));
+        compute_datapath_stats(ctx.cdfg(), ctx.regs(), cmp.hlp_half.fus));
 }
 BENCHMARK(BM_DatapathStats);
 

@@ -3,58 +3,51 @@
 // the datapath quality side by side. This is the workload class the
 // paper's introduction motivates (DSP kernels on FPGAs).
 //
-// Run:  ./build/examples/dct_pipeline [benchmark] [vectors]
+// Run:  ./build/dct_pipeline [benchmark] [vectors]
 #include <cstdlib>
 #include <iostream>
 
-#include "binding/datapath_stats.hpp"
-#include "binding/register_binder.hpp"
 #include "cdfg/benchmarks.hpp"
 #include "common/table.hpp"
-#include "core/hlpower.hpp"
-#include "lopass/lopass.hpp"
-#include "rtl/flow.hpp"
-#include "sched/list_scheduler.hpp"
+#include "flow/flow_context.hpp"
+#include "flow/pipeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace hlp;
   const std::string name = argc > 1 ? argv[1] : "pr";
   const int vectors = argc > 2 ? std::atoi(argv[2]) : 200;
 
-  const Cdfg g = make_paper_benchmark(name);
+  // One FlowContext per benchmark: both binder runs share the schedule and
+  // register binding it memoises (the paper's controlled setup).
+  flow::ContextOptions opt;
+  opt.width = 8;
+  flow::FlowContext ctx(make_paper_benchmark(name), ResourceConstraint{2, 2},
+                        opt);
+  const Cdfg& g = ctx.cdfg();
   std::cout << "benchmark " << name << ": " << g.num_ops_of_kind(OpKind::kAdd)
             << " adds, " << g.num_ops_of_kind(OpKind::kMult)
             << " mults, depth " << g.depth() << "\n";
+  std::cout << "schedule: " << ctx.schedule().num_steps << " steps, "
+            << ctx.regs().num_registers << " registers\n\n";
 
-  // Shared schedule + register binding (the paper's controlled setup).
-  const ResourceConstraint rc{2, 2};
-  const Schedule s = list_schedule(g, rc);
-  const RegisterBinding regs = bind_registers(g, s);
-  std::cout << "schedule: " << s.num_steps << " steps, "
-            << regs.num_registers << " registers\n\n";
-
-  SaCache cache(8);
-  const FuBinding lop = bind_fus_lopass(g, s, regs, rc, LopassParams{8});
-  const FuBinding hlp_fus =
-      bind_fus_hlpower(g, s, regs, rc, cache).fus;
-
-  FlowParams fp;
-  fp.num_vectors = vectors;
+  const flow::Pipeline pipeline = flow::Pipeline::standard();
   AsciiTable t({"binder", "power (mW)", "toggle (M/s)", "LUTs", "clk (ns)",
                 "mux length", "muxDiff mean"});
-  for (const auto& [tag, fus] :
-       {std::pair<const char*, const FuBinding*>{"LOPASS", &lop},
-        {"HLPower", &hlp_fus}}) {
-    const FlowResult r = run_flow(g, s, Binding{regs, *fus}, fp);
-    const DatapathStats st = compute_datapath_stats(g, regs, *fus);
+  for (const auto& [tag, binder] :
+       {std::pair<const char*, const char*>{"LOPASS", "lopass"},
+        {"HLPower", "hlpower"}}) {
+    flow::RunSpec spec;
+    spec.binder.name = binder;
+    spec.num_vectors = vectors;
+    const flow::PipelineOutcome out = pipeline.run(ctx, spec);
     t.row()
         .add(tag)
-        .add(r.report.dynamic_power_mw, 1)
-        .add(r.report.toggle_rate_mps, 2)
-        .add(r.mapped.num_luts)
-        .add(r.clock_period_ns, 1)
-        .add(st.mux_length)
-        .add(st.muxdiff_mean, 2);
+        .add(out.flow.report.dynamic_power_mw, 1)
+        .add(out.flow.report.toggle_rate_mps, 2)
+        .add(out.flow.mapped.num_luts)
+        .add(out.flow.clock_period_ns, 1)
+        .add(out.flow.mux_stats.mux_length)
+        .add(out.flow.mux_stats.muxdiff_mean, 2);
   }
   t.print(std::cout);
   return 0;

@@ -3,52 +3,67 @@
 // adder/multiplier allocation from the schedule's minimum upward and report
 // the area/power/latency trade-off of the HLPower binding at each point —
 // the kind of exploration a user of the library would run before committing
-// to an allocation.
+// to an allocation. The 16-point grid fans across the ExperimentRunner's
+// thread pool (HLP_JOBS workers, default 4); every allocation is its own
+// memoised FlowContext, all sharing one SA cache.
 //
-// Run:  ./build/examples/design_space [benchmark]
+// Run:  ./build/design_space [benchmark]
+#include <cstdlib>
 #include <iostream>
 
-#include "binding/register_binder.hpp"
 #include "cdfg/benchmarks.hpp"
 #include "common/table.hpp"
-#include "core/hlpower.hpp"
-#include "rtl/flow.hpp"
-#include "sched/list_scheduler.hpp"
+#include "flow/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace hlp;
   const std::string name = argc > 1 ? argv[1] : "wang";
-  const Cdfg g = make_paper_benchmark(name);
-  SaCache cache(8);
+  const int workers = flow::jobs_from_env(4);
+
+  // The (adders x mults) grid as runner jobs.
+  std::vector<ResourceConstraint> rcs;
+  for (int adders = 1; adders <= 4; ++adders)
+    for (int mults = 1; mults <= 4; ++mults) rcs.push_back({adders, mults});
+  flow::Job base;
+  base.width = 8;
+  base.num_vectors = 60;
+  const std::vector<flow::Job> jobs =
+      flow::ExperimentRunner::grid({name}, {flow::BinderSpec{"hlpower"}}, {},
+                                   rcs, base);
+
+  flow::ExperimentRunner runner(workers);
+  const auto results = runner.run(jobs);
 
   AsciiTable t({"adders", "mults", "csteps", "regs", "FUs", "LUTs",
                 "power (mW)", "clk (ns)", "latency*clk (ns)"});
-  for (int adders = 1; adders <= 4; ++adders) {
-    for (int mults = 1; mults <= 4; ++mults) {
-      const ResourceConstraint rc{adders, mults};
-      const Schedule s = list_schedule(g, rc);
-      if (s.max_density(g, OpKind::kAdd) > adders ||
-          s.max_density(g, OpKind::kMult) > mults)
-        continue;
-      const RegisterBinding regs = bind_registers(g, s);
-      const Binding bind{regs, bind_fus_hlpower(g, s, regs, rc, cache).fus};
-      FlowParams fp;
-      fp.num_vectors = 60;
-      const FlowResult r = run_flow(g, s, bind, fp);
-      t.row()
-          .add(adders)
-          .add(mults)
-          .add(s.num_steps)
-          .add(regs.num_registers)
-          .add(bind.fus.num_fus())
-          .add(r.mapped.num_luts)
-          .add(r.report.dynamic_power_mw, 1)
-          .add(r.clock_period_ns, 1)
-          .add(s.num_steps * r.clock_period_ns, 0);
+  for (const auto& res : results) {
+    if (!res.ok) {
+      std::cerr << "allocation " << res.job.rc.adders << "x"
+                << res.job.rc.multipliers << " failed: " << res.error << "\n";
+      continue;
     }
+    // Skip allocations the schedule does not actually use (the context
+    // reports the resolved rc; duplicates of a tighter point are noise).
+    flow::FlowContext& ctx = runner.context_for(res.job);
+    const Schedule& s = ctx.schedule();
+    if (s.max_density(ctx.cdfg(), OpKind::kAdd) > res.job.rc.adders ||
+        s.max_density(ctx.cdfg(), OpKind::kMult) > res.job.rc.multipliers)
+      continue;
+    const FlowResult& r = res.outcome.flow;
+    t.row()
+        .add(res.job.rc.adders)
+        .add(res.job.rc.multipliers)
+        .add(s.num_steps)
+        .add(ctx.regs().num_registers)
+        .add(res.outcome.fus.num_fus())
+        .add(r.mapped.num_luts)
+        .add(r.report.dynamic_power_mw, 1)
+        .add(r.clock_period_ns, 1)
+        .add(s.num_steps * r.clock_period_ns, 0);
   }
   std::cout << "design space for '" << name
-            << "' (HLPower binding at every allocation):\n";
+            << "' (HLPower binding at every allocation, " << workers
+            << " workers):\n";
   t.print(std::cout);
   return 0;
 }

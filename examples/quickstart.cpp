@@ -1,17 +1,18 @@
-// Quickstart: build a small CDFG, schedule it, bind it with HLPower, and
+// Quickstart: build a small CDFG, run it through the staged flow pipeline
+// (schedule -> bind -> elaborate -> map -> time -> simulate -> power), and
 // print the binding plus a power report.
 //
 //   y0 = (a + b) * (c + d);  y1 = (a + b) + (c * d)
 //
-// Run:  ./build/examples/quickstart
+// Run:  ./build/quickstart
 #include <iostream>
 
 #include "cdfg/cdfg.hpp"
 #include "cdfg/io.hpp"
-#include "core/hlpower.hpp"
-#include "rtl/flow.hpp"
+#include "common/strings.hpp"
+#include "flow/flow_context.hpp"
+#include "flow/pipeline.hpp"
 #include "rtl/vhdl.hpp"
-#include "sched/list_scheduler.hpp"
 
 int main() {
   using namespace hlp;
@@ -32,24 +33,28 @@ int main() {
   g.validate();
   std::cout << "CDFG:\n" << cdfg_to_string(g) << "\n";
 
-  // 2. Schedule under a resource constraint (1 adder, 1 multiplier).
-  const ResourceConstraint rc{1, 1};
-  const Schedule sched = list_schedule(g, rc);
-  std::cout << "schedule: " << sched.num_steps << " control steps\n";
+  // 2. A FlowContext memoises the shared artifacts (schedule, register
+  //    binding, SA cache) under the resource constraint (1 adder, 1 mult).
+  flow::ContextOptions opt;
+  opt.scheduler = "list";  // registry key; "fds" also works
+  opt.width = 8;
+  flow::FlowContext ctx(g, ResourceConstraint{1, 1}, opt);
+  std::cout << "schedule: " << ctx.schedule().num_steps << " control steps\n";
 
-  // 3. Bind with HLPower (registers + glitch-aware FU binding).
-  SaCache cache(8);  // 8-bit datapath SA estimates
-  const Binding bind = bind_hlpower(g, sched, rc, cache);
-  std::cout << "registers allocated: " << bind.regs.num_registers << "\n";
+  // 3+4. Run the staged pipeline: the "hlpower" registry binder plus the
+  //      evaluation stages (elaborate, map, time, simulate, power).
+  flow::RunSpec spec;
+  spec.binder.name = "hlpower";
+  spec.num_vectors = 100;
+  const flow::PipelineOutcome out = flow::Pipeline::standard().run(ctx, spec);
+
+  std::cout << "registers allocated: " << ctx.regs().num_registers << "\n";
   for (int op = 0; op < g.num_ops(); ++op)
-    std::cout << "  op " << g.op(op).name << " -> FU" << bind.fus.fu_of_op[op]
-              << " (" << to_string(bind.fus.kind_of_fu[bind.fus.fu_of_op[op]])
+    std::cout << "  op " << g.op(op).name << " -> FU" << out.fus.fu_of_op[op]
+              << " (" << to_string(out.fus.kind_of_fu[out.fus.fu_of_op[op]])
               << ")\n";
 
-  // 4. Evaluate: elaborate, map to 4-LUTs, simulate, report power.
-  FlowParams fp;
-  fp.num_vectors = 100;
-  const FlowResult r = run_flow(g, sched, bind, fp);
+  const FlowResult& r = out.flow;
   std::cout << "\nevaluation (100 random vectors):\n"
             << "  LUTs:            " << r.mapped.num_luts << "\n"
             << "  clock period:    " << r.clock_period_ns << " ns\n"
@@ -57,9 +62,15 @@ int main() {
             << "  toggle rate:     " << r.report.toggle_rate_mps << " M/s\n"
             << "  glitch fraction: " << r.report.glitch_fraction << "\n";
 
+  std::cout << "\nper-stage wall clock:\n";
+  for (const auto& t : out.timings)
+    std::cout << "  " << t.name << ": " << fmt_fixed(t.seconds * 1e3, 2)
+              << " ms\n";
+
   // 5. Export RTL.
   std::cout << "\nVHDL (first lines):\n";
-  const std::string vhdl = emit_vhdl(g, sched, bind);
+  const std::string vhdl =
+      emit_vhdl(g, ctx.schedule(), Binding{ctx.regs(), out.fus});
   std::cout << vhdl.substr(0, vhdl.find("architecture")) << "...\n";
   return 0;
 }

@@ -1,0 +1,144 @@
+#include "flow/experiment.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "cdfg/benchmarks.hpp"
+#include "common/error.hpp"
+
+namespace hlp::flow {
+
+int jobs_from_env(int fallback) {
+  const char* env = std::getenv("HLP_JOBS");
+  if (!env || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  HLP_REQUIRE(end != env && *end == '\0',
+              "HLP_JOBS='" << env << "' is not an integer");
+  HLP_REQUIRE(errno != ERANGE && v >= 1 && v <= INT_MAX,
+              "HLP_JOBS='" << env << "' out of range [1, " << INT_MAX << "]");
+  return static_cast<int>(v);
+}
+
+namespace {
+
+std::string context_key(const Job& job) {
+  std::ostringstream key;
+  key << job.benchmark << '|' << job.scheduler << '|' << job.rc.adders << 'x'
+      << job.rc.multipliers << '|' << job.width << '|' << job.reg_seed << '|'
+      << job.sched_spec.min_latency << '|' << job.sched_spec.latency_slack;
+  return key.str();
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(int num_threads, GraphProvider provider,
+                                   SaCache* shared_cache)
+    : num_threads_(std::max(1, num_threads)),
+      provider_(provider ? std::move(provider)
+                         : [](const std::string& name) {
+                             return make_paper_benchmark(name);
+                           }),
+      external_cache_(shared_cache) {}
+
+SaCache& ExperimentRunner::sa_cache(int width) {
+  if (external_cache_ && external_cache_->width() == width)
+    return *external_cache_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = caches_[width];
+  if (!slot) slot = std::make_unique<SaCache>(width);
+  return *slot;
+}
+
+FlowContext& ExperimentRunner::context_for(const Job& job) {
+  SaCache& cache = sa_cache(job.width);
+  const std::string key = context_key(job);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = contexts_[key];
+  if (!slot) {
+    ContextOptions opt;
+    opt.scheduler = job.scheduler;
+    opt.sched_spec = job.sched_spec;
+    opt.width = job.width;
+    opt.reg_seed = job.reg_seed;
+    slot = std::make_unique<FlowContext>(provider_(job.benchmark), job.rc,
+                                         std::move(opt), &cache);
+  }
+  return *slot;
+}
+
+std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<JobResult> results(jobs.size());
+  const Pipeline pipeline = Pipeline::standard();
+
+  auto execute = [&](std::size_t i) {
+    JobResult& res = results[i];
+    res.job = jobs[i];
+    const auto t0 = Clock::now();
+    try {
+      RunSpec spec;
+      spec.binder = jobs[i].binder;
+      spec.num_vectors = jobs[i].num_vectors;
+      spec.seed = jobs[i].seed;
+      res.outcome = pipeline.run(context_for(jobs[i]), spec);
+      res.ok = true;
+    } catch (const std::exception& e) {
+      res.error = e.what();
+    }
+    res.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const int workers =
+      std::min<std::size_t>(num_threads_, jobs.size() ? jobs.size() : 1);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) execute(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < jobs.size();
+           i = next.fetch_add(1))
+        execute(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+std::vector<Job> ExperimentRunner::grid(
+    const std::vector<std::string>& benchmarks,
+    const std::vector<BinderSpec>& binders,
+    const std::vector<std::uint64_t>& seeds,
+    const std::vector<ResourceConstraint>& rcs, const Job& base) {
+  const std::vector<std::uint64_t> seed_list =
+      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+  const std::vector<ResourceConstraint> rc_list =
+      rcs.empty() ? std::vector<ResourceConstraint>{base.rc} : rcs;
+  std::vector<Job> jobs;
+  jobs.reserve(benchmarks.size() * binders.size() * seed_list.size() *
+               rc_list.size());
+  for (const auto& bench : benchmarks)
+    for (const auto& rc : rc_list)
+      for (const auto& binder : binders)
+        for (const auto seed : seed_list) {
+          Job job = base;
+          job.benchmark = bench;
+          job.binder = binder;
+          job.seed = seed;
+          job.rc = rc;
+          jobs.push_back(std::move(job));
+        }
+  return jobs;
+}
+
+}  // namespace hlp::flow

@@ -1,0 +1,101 @@
+// ExperimentRunner: fan a grid of (benchmark x binder x seed x constraint)
+// jobs across a std::thread pool.
+//
+// Every job runs the standard Pipeline on a FlowContext that is memoised
+// per (benchmark, scheduler, rc, width, reg_seed) — jobs that share a
+// setup share the schedule, register binding and SA cache, computed once.
+// All algorithms in the library are deterministic and the SaCache
+// memoisation is value-deterministic under races, so results are identical
+// for any thread count; only wall-clock changes. Results are returned in
+// job order; per-job failures are captured, not thrown.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "flow/flow_context.hpp"
+#include "flow/pipeline.hpp"
+#include "power/sa_cache.hpp"
+
+namespace hlp::flow {
+
+/// Worker threads from the HLP_JOBS env var, else `fallback`. Strictly
+/// parsed like vectors_from_env: garbage or non-positive values throw.
+int jobs_from_env(int fallback);
+
+/// One cell of the experiment grid.
+struct Job {
+  /// Key handed to the graph provider (default: a paper benchmark name).
+  std::string benchmark;
+  std::string scheduler = "list";
+  BinderSpec binder;
+  /// {0, 0} = schedule-minimum allocation (see FlowContext::rc()).
+  ResourceConstraint rc{0, 0};
+  int width = 8;
+  int num_vectors = 200;
+  /// Simulation stimulus seed.
+  std::uint64_t seed = 42;
+  std::uint64_t reg_seed = 42;
+  SchedulerSpec sched_spec;
+  /// Free-form tag carried through to the result (display only).
+  std::string label;
+};
+
+struct JobResult {
+  Job job;
+  PipelineOutcome outcome;
+  bool ok = false;
+  /// what() of the exception when !ok.
+  std::string error;
+  double seconds = 0.0;
+};
+
+class ExperimentRunner {
+ public:
+  using GraphProvider = std::function<Cdfg(const std::string&)>;
+
+  /// `num_threads` <= 1 runs inline on the calling thread. The default
+  /// provider resolves names via make_paper_benchmark. `shared_cache`
+  /// (optional, non-owning) is used for every context whose width matches;
+  /// other widths get runner-owned per-width caches.
+  explicit ExperimentRunner(int num_threads = 1, GraphProvider provider = {},
+                            SaCache* shared_cache = nullptr);
+
+  /// Run all jobs; results in job order.
+  std::vector<JobResult> run(const std::vector<Job>& jobs);
+
+  /// The memoised context a job maps to (creating it if needed).
+  FlowContext& context_for(const Job& job);
+
+  /// The cache contexts of `width` share (the external cache when its
+  /// width matches, else the runner-owned one).
+  SaCache& sa_cache(int width);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Cross product helper: one job per (benchmark, binder, seed, rc), all
+  /// other fields copied from `base`. Empty seed/rc lists mean "just the
+  /// base's value".
+  static std::vector<Job> grid(
+      const std::vector<std::string>& benchmarks,
+      const std::vector<BinderSpec>& binders,
+      const std::vector<std::uint64_t>& seeds = {},
+      const std::vector<ResourceConstraint>& rcs = {}, const Job& base = {});
+
+ private:
+  int num_threads_;
+  GraphProvider provider_;
+  SaCache* external_cache_;
+
+  std::mutex mu_;  // guards the two maps
+  std::map<std::string, std::unique_ptr<FlowContext>> contexts_;
+  std::map<int, std::unique_ptr<SaCache>> caches_;
+};
+
+}  // namespace hlp::flow

@@ -1,0 +1,72 @@
+#include "flow/flow_context.hpp"
+
+#include <algorithm>
+
+#include "binding/register_binder.hpp"
+#include "common/error.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace hlp::flow {
+
+FlowContext::FlowContext(Cdfg g, ResourceConstraint rc, ContextOptions opt,
+                         SaCache* shared_cache)
+    : g_(std::move(g)),
+      rc_(rc),
+      opt_(std::move(opt)),
+      shared_cache_(shared_cache) {
+  if (shared_cache_) {
+    HLP_REQUIRE(shared_cache_->width() == opt_.width,
+                "shared SaCache width " << shared_cache_->width()
+                                        << " != context width " << opt_.width);
+  } else {
+    owned_cache_ = std::make_unique<SaCache>(opt_.width);
+  }
+}
+
+void FlowContext::ensure_scheduled_locked() {
+  if (scheduled_) return;
+  // Zero entries mean "schedule minimum": probe with the loosest feasible
+  // allocation, then read the per-kind max density (Theorem 1's bound).
+  if (rc_.adders == 0 || rc_.multipliers == 0) {
+    const Schedule probe = list_schedule(
+        g_, {std::max(1, rc_.adders), std::max(1, rc_.multipliers)});
+    if (rc_.adders == 0)
+      rc_.adders = std::max(1, probe.max_density(g_, OpKind::kAdd));
+    if (rc_.multipliers == 0)
+      rc_.multipliers = std::max(1, probe.max_density(g_, OpKind::kMult));
+  }
+  const SchedulerFn& scheduler = scheduler_registry().at(opt_.scheduler);
+  s_ = scheduler(g_, rc_, opt_.sched_spec);
+  // Latency-driven schedulers balance but do not constrain; widen rc so the
+  // binders always receive a feasible allocation.
+  rc_.adders = std::max(rc_.adders, s_.max_density(g_, OpKind::kAdd));
+  rc_.multipliers = std::max(rc_.multipliers, s_.max_density(g_, OpKind::kMult));
+  scheduled_ = true;
+}
+
+void FlowContext::ensure_regs_locked() {
+  ensure_scheduled_locked();
+  if (regs_bound_) return;
+  regs_ = bind_registers(g_, s_, opt_.reg_seed);
+  regs_bound_ = true;
+}
+
+const Schedule& FlowContext::schedule() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_scheduled_locked();
+  return s_;
+}
+
+const ResourceConstraint& FlowContext::rc() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_scheduled_locked();
+  return rc_;
+}
+
+const RegisterBinding& FlowContext::regs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ensure_regs_locked();
+  return regs_;
+}
+
+}  // namespace hlp::flow

@@ -1,0 +1,129 @@
+#include "flow/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "binding/datapath_stats.hpp"
+#include "common/error.hpp"
+#include "netlist/timing.hpp"
+#include "sim/vectors.hpp"
+
+namespace hlp::flow {
+
+double PipelineOutcome::stage_seconds(const std::string& name) const {
+  for (const auto& t : timings)
+    if (t.name == name) return t.seconds;
+  return 0.0;
+}
+
+namespace {
+
+void stage_schedule(PipelineState& st) { st.schedule = st.ctx.schedule(); }
+
+void stage_bind_regs(PipelineState& st) { st.regs = st.ctx.regs(); }
+
+void stage_bind_fus(PipelineState& st) {
+  const BinderFn& binder = binder_registry().at(st.spec.binder.name);
+  st.out.fus = binder(st.ctx, st.spec.binder);
+}
+
+void stage_refine(PipelineState& st) {
+  if (!st.spec.binder.refine) return;
+  st.out.refine = refine_ports(st.ctx.cdfg(), st.regs, st.out.fus,
+                               st.ctx.sa_cache(),
+                               edge_weight_params(st.spec.binder));
+  st.out.fus = st.out.refine.fus;
+  st.out.refined = true;
+}
+
+void stage_elaborate(PipelineState& st) {
+  st.datapath =
+      elaborate_datapath(st.ctx.cdfg(), st.schedule,
+                         Binding{st.regs, st.out.fus},
+                         DatapathParams{st.ctx.width()});
+  st.out.flow.mux_stats =
+      compute_datapath_stats(st.ctx.cdfg(), st.regs, st.out.fus);
+}
+
+void stage_map(PipelineState& st) {
+  st.out.flow.mapped = tech_map(st.datapath.netlist, st.spec.map);
+}
+
+void stage_time(PipelineState& st) {
+  st.out.flow.clock_period_ns =
+      clock_period_ns(st.out.flow.mapped.lut_netlist, st.spec.timing);
+}
+
+void stage_simulate(PipelineState& st) {
+  const Cdfg& g = st.ctx.cdfg();
+  // Stimulus identical to run_flow: one flat random_words draw carved into
+  // per-sample input vectors (same seed, same sequence).
+  std::vector<std::vector<std::uint64_t>> samples(st.spec.num_vectors);
+  const auto words =
+      random_words(st.spec.num_vectors * std::max(1, g.num_inputs()),
+                   st.ctx.width(), st.spec.seed);
+  std::size_t w = 0;
+  for (auto& sample : samples) {
+    sample.resize(g.num_inputs());
+    for (auto& word : sample) word = words[w++];
+  }
+  const auto frames = make_frames(st.datapath, samples);
+  st.out.flow.sim = simulate_frames(st.out.flow.mapped.lut_netlist, frames);
+}
+
+void stage_power(PipelineState& st) {
+  const auto& sim = st.out.flow.sim;
+  const double functional_per_cycle =
+      sim.num_cycles ? static_cast<double>(sim.functional_transitions) /
+                           static_cast<double>(sim.num_cycles)
+                     : 0.0;
+  st.out.flow.report = power_from_toggles(
+      st.out.flow.mapped.lut_netlist, sim.toggles, sim.num_cycles,
+      st.out.flow.clock_period_ns, functional_per_cycle, st.spec.power);
+}
+
+}  // namespace
+
+const std::vector<std::string>& Pipeline::stage_names() {
+  static const std::vector<std::string> kNames = {
+      "schedule", "bind-regs", "bind-fus", "refine", "elaborate",
+      "map",      "time",      "simulate", "power"};
+  return kNames;
+}
+
+Pipeline Pipeline::standard() {
+  Pipeline p;
+  p.stages_ = {{"schedule", stage_schedule}, {"bind-regs", stage_bind_regs},
+               {"bind-fus", stage_bind_fus}, {"refine", stage_refine},
+               {"elaborate", stage_elaborate}, {"map", stage_map},
+               {"time", stage_time},         {"simulate", stage_simulate},
+               {"power", stage_power}};
+  return p;
+}
+
+Pipeline& Pipeline::replace(const std::string& name, StageFn fn) {
+  for (auto& stage : stages_) {
+    if (stage.name == name) {
+      stage.fn = std::move(fn);
+      return *this;
+    }
+  }
+  HLP_REQUIRE(false, "pipeline has no stage named '" << name << "'");
+}
+
+PipelineOutcome Pipeline::run(FlowContext& ctx, const RunSpec& spec) const {
+  using Clock = std::chrono::steady_clock;
+  PipelineState st(ctx, spec);
+  st.out.timings.reserve(stages_.size());
+  for (const auto& stage : stages_) {
+    const auto t0 = Clock::now();
+    stage.fn(st);
+    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    st.out.timings.push_back({stage.name, secs});
+    if (stage.name == "bind-fus" || stage.name == "refine")
+      st.out.bind_seconds += secs;
+  }
+  return std::move(st.out);
+}
+
+}  // namespace hlp::flow

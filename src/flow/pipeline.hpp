@@ -1,0 +1,104 @@
+// Staged evaluation pipeline — the decomposition of `run_flow` (the
+// paper's Section 6.1 Quartus stand-in) into named, individually
+// overridable stages with per-stage wall-clock timing:
+//
+//   schedule -> bind-regs -> bind-fus -> refine -> elaborate -> map ->
+//   time -> simulate -> power
+//
+// The first two stages read the memoised artifacts of the FlowContext;
+// `bind-fus` resolves the binder by name through the registry; `refine` is
+// a no-op unless the BinderSpec asks for port refinement. The tail stages
+// perform exactly the computations of `run_flow` with the same seeds, so
+// for a fixed seed the pipeline reproduces `run_flow`'s numbers bit for
+// bit (asserted by tests/flow_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/port_refine.hpp"
+#include "flow/flow_context.hpp"
+#include "flow/registry.hpp"
+#include "rtl/datapath.hpp"
+#include "rtl/flow.hpp"
+
+namespace hlp::flow {
+
+/// Per-run evaluation parameters (the per-job half of FlowParams; the
+/// width lives on the context).
+struct RunSpec {
+  BinderSpec binder;
+  int num_vectors = 1000;
+  /// Simulation stimulus seed.
+  std::uint64_t seed = 42;
+  /// Evaluation mapping is depth-oriented, as in run_flow.
+  MapParams map{CutParams{}, MapMode::kDepth};
+  TimingModel timing;
+  PowerParams power;
+};
+
+struct StageTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct PipelineOutcome {
+  /// The bound FUs (after refinement, when requested).
+  FuBinding fus;
+  /// Same shape as run_flow's result: mapping, clock, sim, power, mux.
+  FlowResult flow;
+  /// Valid iff `refined` (the refine stage ran).
+  PortRefineResult refine;
+  bool refined = false;
+  /// Wall-clock of every stage, in pipeline order.
+  std::vector<StageTiming> timings;
+  /// Seconds spent in the `bind-fus` stage (+ `refine` when it ran) — the
+  /// "HLPower runtime" column of Table 2.
+  double bind_seconds = 0.0;
+
+  /// Timing of one stage by name (0.0 if absent).
+  double stage_seconds(const std::string& name) const;
+};
+
+/// Mutable state threaded through the stages. Custom stage overrides
+/// read/write whichever artifacts they care about.
+struct PipelineState {
+  PipelineState(FlowContext& c, const RunSpec& s) : ctx(c), spec(s) {}
+
+  FlowContext& ctx;
+  const RunSpec& spec;
+  Schedule schedule;
+  RegisterBinding regs;
+  Datapath datapath;
+  PipelineOutcome out;
+};
+
+using StageFn = std::function<void(PipelineState&)>;
+
+class Pipeline {
+ public:
+  struct Stage {
+    std::string name;
+    StageFn fn;
+  };
+
+  /// The canonical nine-stage pipeline.
+  static Pipeline standard();
+  /// The canonical stage names, in order.
+  static const std::vector<std::string>& stage_names();
+
+  /// Replace the implementation of one named stage (throws if unknown).
+  Pipeline& replace(const std::string& name, StageFn fn);
+
+  /// Run every stage in order, timing each.
+  PipelineOutcome run(FlowContext& ctx, const RunSpec& spec = {}) const;
+
+  const std::vector<Stage>& stages() const { return stages_; }
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+}  // namespace hlp::flow

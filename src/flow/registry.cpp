@@ -1,0 +1,82 @@
+#include "flow/registry.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/hlpower.hpp"
+#include "flow/flow_context.hpp"
+#include "lopass/lopass.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace hlp::flow {
+
+template <typename Fn>
+const Fn& Registry<Fn>::at(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::ostringstream known;
+    for (const auto& n : names()) known << " '" << n << "'";
+    HLP_REQUIRE(false, "unknown algorithm '" << name << "'; registered:"
+                                             << known.str());
+  }
+  return it->second;
+}
+
+template class Registry<SchedulerFn>;
+template class Registry<BinderFn>;
+
+namespace {
+
+Registry<SchedulerFn> make_scheduler_registry() {
+  Registry<SchedulerFn> r;
+  r.add("list", [](const Cdfg& g, const ResourceConstraint& rc,
+                   const SchedulerSpec& spec) {
+    return list_schedule(g, rc, spec.min_latency);
+  });
+  r.add("fds", [](const Cdfg& g, const ResourceConstraint& /*rc*/,
+                  const SchedulerSpec& spec) {
+    const int latency =
+        std::max(g.depth() + spec.latency_slack, spec.min_latency);
+    return force_directed_schedule(g, latency);
+  });
+  return r;
+}
+
+Registry<BinderFn> make_binder_registry() {
+  Registry<BinderFn> r;
+  r.add("hlpower", [](FlowContext& ctx, const BinderSpec& spec) {
+    HlpowerParams hp;
+    hp.weight = edge_weight_params(spec);
+    return bind_fus_hlpower(ctx.cdfg(), ctx.schedule(), ctx.regs(), ctx.rc(),
+                            ctx.sa_cache(), hp)
+        .fus;
+  });
+  r.add("lopass", [](FlowContext& ctx, const BinderSpec& /*spec*/) {
+    return bind_fus_lopass(ctx.cdfg(), ctx.schedule(), ctx.regs(), ctx.rc(),
+                           LopassParams{ctx.width()});
+  });
+  return r;
+}
+
+}  // namespace
+
+EdgeWeightParams edge_weight_params(const BinderSpec& spec) {
+  EdgeWeightParams wp;
+  wp.alpha = spec.alpha;
+  if (spec.beta_add >= 0.0) wp.beta_add = spec.beta_add;
+  if (spec.beta_mult >= 0.0) wp.beta_mult = spec.beta_mult;
+  return wp;
+}
+
+Registry<SchedulerFn>& scheduler_registry() {
+  static Registry<SchedulerFn> r = make_scheduler_registry();
+  return r;
+}
+
+Registry<BinderFn>& binder_registry() {
+  static Registry<BinderFn> r = make_binder_registry();
+  return r;
+}
+
+}  // namespace hlp::flow

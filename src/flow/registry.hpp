@@ -1,0 +1,82 @@
+// String-keyed registries for the pluggable pipeline stages: schedulers
+// and functional-unit binders.
+//
+// CLIs, benches and the experiment runner select algorithms by name
+// ("list", "fds"; "hlpower", "lopass") instead of hard-coded if-chains, so
+// adding an algorithm is one `add()` call — every driver picks it up. The
+// built-in algorithms are registered on first access of the singletons.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "binding/binding.hpp"
+#include "cdfg/cdfg.hpp"
+#include "core/edge_weight.hpp"
+#include "sched/schedule.hpp"
+
+namespace hlp::flow {
+
+class FlowContext;
+
+/// Per-run binder selection: which algorithm plus its tuning knobs.
+/// Negative beta values mean "use the EdgeWeightParams default".
+struct BinderSpec {
+  std::string name = "hlpower";
+  double alpha = 0.5;
+  double beta_add = -1.0;
+  double beta_mult = -1.0;
+  /// Run post-binding port refinement (the pipeline's `refine` stage).
+  bool refine = false;
+};
+
+/// The Eq. 4 weighting a BinderSpec selects: alpha always, betas only when
+/// non-negative (the sentinel for "keep the default"). Single source of
+/// truth for the hlpower binder and the refine stage.
+EdgeWeightParams edge_weight_params(const BinderSpec& spec);
+
+/// Scheduler tuning knobs shared by all registered schedulers.
+struct SchedulerSpec {
+  /// Stretch the schedule to at least this many steps (0 = natural).
+  int min_latency = 0;
+  /// Latency bound slack over CDFG depth for latency-driven schedulers
+  /// (force-directed uses depth + slack).
+  int latency_slack = 2;
+};
+
+using SchedulerFn = std::function<Schedule(
+    const Cdfg&, const ResourceConstraint&, const SchedulerSpec&)>;
+using BinderFn = std::function<FuBinding(FlowContext&, const BinderSpec&)>;
+
+/// Name -> algorithm map. Lookup failure throws hlp::Error listing the
+/// registered names. Registration is expected at startup (not
+/// thread-safe against concurrent lookup).
+template <typename Fn>
+class Registry {
+ public:
+  void add(const std::string& name, Fn fn) { entries_[name] = std::move(fn); }
+  bool contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+  const Fn& at(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    for (const auto& [name, fn] : entries_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Fn> entries_;
+};
+
+/// Process-wide registries, pre-populated with the built-in algorithms:
+/// schedulers `list` (resource-constrained list scheduling) and `fds`
+/// (force-directed); binders `hlpower` (glitch-aware, Eq. 4) and `lopass`
+/// (glitch-blind baseline).
+Registry<SchedulerFn>& scheduler_registry();
+Registry<BinderFn>& binder_registry();
+
+}  // namespace hlp::flow

@@ -31,12 +31,29 @@ double SaCache::compute_uncached(OpKind kind, int n_mux_a, int n_mux_b) const {
 double SaCache::switching_activity(OpKind kind, int n_mux_a, int n_mux_b) {
   HLP_REQUIRE(n_mux_a >= 1 && n_mux_b >= 1, "mux sizes must be >= 1");
   const std::uint64_t k = key(kind, n_mux_a, n_mux_b);
-  auto it = table_.find(k);
-  if (it != table_.end()) return it->second;
-  ++misses_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = table_.find(k);
+    if (it != table_.end()) return it->second;
+  }
+  // Compute outside the lock so concurrent misses on different keys run in
+  // parallel. The computation is deterministic, so a racing duplicate for
+  // the same key produces the identical value; first insertion wins.
   const double sa = compute_uncached(kind, n_mux_a, n_mux_b);
-  table_.emplace(k, sa);
-  return sa;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = table_.emplace(k, sa);
+  if (inserted) ++misses_;
+  return it->second;
+}
+
+std::size_t SaCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+std::uint64_t SaCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 void SaCache::precompute(int max_mux_a, int max_mux_b) {
@@ -47,6 +64,7 @@ void SaCache::precompute(int max_mux_a, int max_mux_b) {
 }
 
 void SaCache::save(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
   os << "# SaCache width=" << width_ << " k=" << map_params_.cuts.k << "\n";
   os.precision(17);  // bit-exact double round trip
   for (const auto& [k, sa] : table_) {
@@ -59,6 +77,7 @@ void SaCache::save(std::ostream& os) const {
 }
 
 void SaCache::load(std::istream& is) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string line;
   while (std::getline(is, line)) {
     const auto hash = line.find('#');

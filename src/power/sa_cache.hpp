@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -29,6 +30,12 @@ class SaCache {
 
   /// Glitch-aware SA for (kind, nA-input muxA, nB-input muxB); computed on
   /// demand and memoised. nA/nB >= 1 (1 = direct connection).
+  ///
+  /// Safe to call concurrently: the memo table is mutex-guarded, and the
+  /// (deterministic) SA computation itself runs outside the lock so
+  /// concurrent misses on different keys do not serialise. Two threads
+  /// racing on the same cold key both compute the same value; exactly one
+  /// insertion wins and is counted as the miss.
   double switching_activity(OpKind kind, int n_mux_a, int n_mux_b);
 
   /// Always-compute variant (ignores and does not touch the memo) — used to
@@ -45,18 +52,19 @@ class SaCache {
   void save_file(const std::string& path) const;
   void load_file(const std::string& path);
 
-  std::size_t size() const { return table_.size(); }
+  std::size_t size() const;
   int width() const { return width_; }
 
-  /// Number of on-demand SA computations performed (cache misses) — used by
-  /// the ablation bench to show the precalc speedup.
-  std::uint64_t misses() const { return misses_; }
+  /// Number of cache misses (table insertions from on-demand computation) —
+  /// used by the ablation bench to show the precalc speedup.
+  std::uint64_t misses() const;
 
  private:
   static std::uint64_t key(OpKind kind, int a, int b);
 
   int width_;
   MapParams map_params_;
+  mutable std::mutex mu_;  // guards table_ and misses_
   std::unordered_map<std::uint64_t, double> table_;
   std::uint64_t misses_ = 0;
 };

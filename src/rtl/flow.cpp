@@ -1,5 +1,7 @@
 #include "rtl/flow.hpp"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -8,11 +10,17 @@
 namespace hlp {
 
 int vectors_from_env(int fallback) {
-  if (const char* env = std::getenv("HLP_VECTORS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return fallback;
+  const char* env = std::getenv("HLP_VECTORS");
+  if (!env || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  HLP_REQUIRE(end != env && *end == '\0',
+              "HLP_VECTORS='" << env << "' is not an integer");
+  HLP_REQUIRE(errno != ERANGE && v >= 1 && v <= INT_MAX,
+              "HLP_VECTORS='" << env << "' out of range [1, " << INT_MAX
+                              << "]");
+  return static_cast<int>(v);
 }
 
 FlowResult run_flow(const Cdfg& g, const Schedule& s, const Binding& b,

@@ -1,0 +1,264 @@
+// Tests for the src/flow subsystem: registry lookup, context memoisation,
+// stage-by-stage pipeline equivalence with the legacy run_flow, SaCache
+// thread safety, and ExperimentRunner determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "binding/register_binder.hpp"
+#include "common/error.hpp"
+#include "cdfg/benchmarks.hpp"
+#include "core/hlpower.hpp"
+#include "flow/experiment.hpp"
+#include "flow/flow_context.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/registry.hpp"
+#include "lopass/lopass.hpp"
+#include "rtl/flow.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace hlp {
+namespace {
+
+constexpr int kWidth = 4;
+constexpr int kVectors = 40;
+
+flow::ContextOptions small_options() {
+  flow::ContextOptions opt;
+  opt.width = kWidth;
+  return opt;
+}
+
+TEST(Registry, BuiltinsRegistered) {
+  EXPECT_TRUE(flow::scheduler_registry().contains("list"));
+  EXPECT_TRUE(flow::scheduler_registry().contains("fds"));
+  EXPECT_TRUE(flow::binder_registry().contains("hlpower"));
+  EXPECT_TRUE(flow::binder_registry().contains("lopass"));
+}
+
+TEST(Registry, UnknownNameThrowsWithKnownNames) {
+  try {
+    flow::binder_registry().at("quartus");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quartus"), std::string::npos);
+    EXPECT_NE(what.find("hlpower"), std::string::npos);
+    EXPECT_NE(what.find("lopass"), std::string::npos);
+  }
+}
+
+TEST(FlowContext, MemoisesScheduleAndRegs) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  const Schedule& s1 = ctx.schedule();
+  const Schedule& s2 = ctx.schedule();
+  EXPECT_EQ(&s1, &s2);
+  const RegisterBinding& r1 = ctx.regs();
+  const RegisterBinding& r2 = ctx.regs();
+  EXPECT_EQ(&r1, &r2);
+  // Matches a direct invocation of the underlying algorithms.
+  const Schedule direct = list_schedule(ctx.cdfg(), {2, 2});
+  EXPECT_EQ(s1.cstep_of_op, direct.cstep_of_op);
+  EXPECT_EQ(r1.reg_of_value, bind_registers(ctx.cdfg(), direct).reg_of_value);
+}
+
+TEST(FlowContext, ZeroConstraintResolvesToScheduleMinimum) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {0, 0}, small_options());
+  const ResourceConstraint& rc = ctx.rc();
+  EXPECT_GE(rc.adders, 1);
+  EXPECT_GE(rc.multipliers, 1);
+  EXPECT_GE(rc.adders, ctx.schedule().max_density(ctx.cdfg(), OpKind::kAdd));
+  EXPECT_GE(rc.multipliers,
+            ctx.schedule().max_density(ctx.cdfg(), OpKind::kMult));
+}
+
+// The acceptance gate of the refactor: the staged pipeline reproduces the
+// legacy single-shot run_flow bit for bit on a paper benchmark.
+TEST(Pipeline, MatchesLegacyRunFlow) {
+  const Cdfg g = make_paper_benchmark("pr");
+  const ResourceConstraint rc{2, 2};
+
+  // Legacy path, exactly as bench_common did it in the seed.
+  const Schedule s = list_schedule(g, rc);
+  const RegisterBinding regs = bind_registers(g, s);
+  SaCache cache(kWidth);
+  const FuBinding fus = bind_fus_hlpower(g, s, regs, rc, cache).fus;
+  FlowParams fp;
+  fp.width = kWidth;
+  fp.num_vectors = kVectors;
+  const FlowResult legacy = run_flow(g, s, Binding{regs, fus}, fp);
+
+  // Staged pipeline.
+  flow::FlowContext ctx(g, rc, small_options());
+  flow::RunSpec spec;
+  spec.binder.name = "hlpower";
+  spec.num_vectors = kVectors;
+  const flow::PipelineOutcome out = flow::Pipeline::standard().run(ctx, spec);
+
+  EXPECT_EQ(out.fus.fu_of_op, fus.fu_of_op);
+  EXPECT_EQ(out.flow.mapped.num_luts, legacy.mapped.num_luts);
+  EXPECT_DOUBLE_EQ(out.flow.clock_period_ns, legacy.clock_period_ns);
+  EXPECT_EQ(out.flow.sim.num_cycles, legacy.sim.num_cycles);
+  EXPECT_EQ(out.flow.sim.total_transitions, legacy.sim.total_transitions);
+  EXPECT_EQ(out.flow.sim.functional_transitions,
+            legacy.sim.functional_transitions);
+  EXPECT_DOUBLE_EQ(out.flow.report.dynamic_power_mw,
+                   legacy.report.dynamic_power_mw);
+  EXPECT_DOUBLE_EQ(out.flow.report.toggle_rate_mps,
+                   legacy.report.toggle_rate_mps);
+  EXPECT_DOUBLE_EQ(out.flow.report.glitch_fraction,
+                   legacy.report.glitch_fraction);
+  EXPECT_EQ(out.flow.mux_stats.mux_length, legacy.mux_stats.mux_length);
+  EXPECT_EQ(out.flow.mux_stats.largest_mux, legacy.mux_stats.largest_mux);
+  EXPECT_DOUBLE_EQ(out.flow.mux_stats.muxdiff_mean,
+                   legacy.mux_stats.muxdiff_mean);
+}
+
+TEST(Pipeline, RecordsEveryStageTiming) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  flow::RunSpec spec;
+  spec.num_vectors = 10;
+  const flow::PipelineOutcome out = flow::Pipeline::standard().run(ctx, spec);
+  const auto& names = flow::Pipeline::stage_names();
+  ASSERT_EQ(out.timings.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(out.timings[i].name, names[i]);
+    EXPECT_GE(out.timings[i].seconds, 0.0);
+  }
+  EXPECT_GT(out.bind_seconds, 0.0);
+  EXPECT_EQ(out.stage_seconds("bind-fus") + out.stage_seconds("refine"),
+            out.bind_seconds);
+}
+
+TEST(Pipeline, StageOverrideReplacesBinder) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  flow::Pipeline pipeline = flow::Pipeline::standard();
+  // Override bind-fus with the lopass binder, bypassing the spec.
+  pipeline.replace("bind-fus", [](flow::PipelineState& st) {
+    st.out.fus = bind_fus_lopass(st.ctx.cdfg(), st.schedule, st.regs,
+                                 st.ctx.rc(), LopassParams{st.ctx.width()});
+  });
+  flow::RunSpec spec;
+  spec.binder.name = "hlpower";  // ignored by the override
+  spec.num_vectors = 10;
+  const flow::PipelineOutcome overridden = pipeline.run(ctx, spec);
+
+  flow::RunSpec lopass_spec;
+  lopass_spec.binder.name = "lopass";
+  lopass_spec.num_vectors = 10;
+  const flow::PipelineOutcome direct =
+      flow::Pipeline::standard().run(ctx, lopass_spec);
+  EXPECT_EQ(overridden.fus.fu_of_op, direct.fus.fu_of_op);
+  EXPECT_EQ(overridden.flow.mapped.num_luts, direct.flow.mapped.num_luts);
+
+  EXPECT_THROW(pipeline.replace("no-such-stage", [](flow::PipelineState&) {}),
+               Error);
+}
+
+TEST(Pipeline, RefineStageRunsWhenRequested) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  flow::RunSpec spec;
+  spec.binder.refine = true;
+  spec.num_vectors = 10;
+  const flow::PipelineOutcome out = flow::Pipeline::standard().run(ctx, spec);
+  EXPECT_TRUE(out.refined);
+  EXPECT_LE(out.refine.cost_after, out.refine.cost_before);
+}
+
+TEST(SaCache, ConcurrentHammerIsConsistent) {
+  SaCache cache(kWidth);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  constexpr int kMaxMux = 3;
+  std::vector<std::thread> pool;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&cache, &mismatches] {
+      for (int round = 0; round < kRounds; ++round)
+        for (int kind = 0; kind < kNumOpKinds; ++kind)
+          for (int a = 1; a <= kMaxMux; ++a)
+            for (int b = 1; b <= kMaxMux; ++b) {
+              const OpKind k = static_cast<OpKind>(kind);
+              const double sa = cache.switching_activity(k, a, b);
+              if (sa != cache.compute_uncached(k, a, b)) ++mismatches;
+            }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Exactly one entry per key survives, no duplicates from races.
+  EXPECT_EQ(cache.size(),
+            static_cast<std::size_t>(kNumOpKinds * kMaxMux * kMaxMux));
+  EXPECT_GE(cache.misses(), static_cast<std::uint64_t>(cache.size()));
+}
+
+TEST(ExperimentRunner, SameResultsAtAnyThreadCount) {
+  const auto jobs = [] {
+    flow::Job base;
+    base.width = kWidth;
+    base.num_vectors = kVectors;
+    return flow::ExperimentRunner::grid(
+        {"pr", "wang"},
+        {flow::BinderSpec{"lopass"}, flow::BinderSpec{"hlpower"}}, {}, {},
+        base);
+  }();
+  ASSERT_EQ(jobs.size(), 4u);
+
+  flow::ExperimentRunner serial(1);
+  flow::ExperimentRunner parallel(4);
+  const auto a = serial.run(jobs);
+  const auto b = parallel.run(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok) << a[i].error;
+    ASSERT_TRUE(b[i].ok) << b[i].error;
+    EXPECT_EQ(a[i].job.benchmark, b[i].job.benchmark);
+    EXPECT_EQ(a[i].outcome.fus.fu_of_op, b[i].outcome.fus.fu_of_op);
+    EXPECT_EQ(a[i].outcome.flow.mapped.num_luts,
+              b[i].outcome.flow.mapped.num_luts);
+    EXPECT_DOUBLE_EQ(a[i].outcome.flow.report.dynamic_power_mw,
+                     b[i].outcome.flow.report.dynamic_power_mw);
+    EXPECT_DOUBLE_EQ(a[i].outcome.flow.report.toggle_rate_mps,
+                     b[i].outcome.flow.report.toggle_rate_mps);
+  }
+}
+
+TEST(ExperimentRunner, CapturesPerJobFailures) {
+  flow::Job bad;
+  bad.benchmark = "pr";
+  bad.binder.name = "no-such-binder";
+  bad.width = kWidth;
+  bad.num_vectors = 5;
+  flow::Job good;
+  good.benchmark = "pr";
+  good.width = kWidth;
+  good.num_vectors = 5;
+  flow::ExperimentRunner runner(2);
+  const auto results = runner.run({bad, good});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("no-such-binder"), std::string::npos);
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+}
+
+TEST(VectorsFromEnv, StrictParsing) {
+  ASSERT_EQ(unsetenv("HLP_VECTORS"), 0);
+  EXPECT_EQ(vectors_from_env(123), 123);
+  ASSERT_EQ(setenv("HLP_VECTORS", "250", 1), 0);
+  EXPECT_EQ(vectors_from_env(123), 250);
+  for (const char* bad : {"12abc", "abc", "1e3", "-5", "0", "",
+                          "99999999999999999999"}) {
+    ASSERT_EQ(setenv("HLP_VECTORS", bad, 1), 0);
+    if (*bad == '\0') {
+      EXPECT_EQ(vectors_from_env(123), 123) << "empty falls back";
+    } else {
+      EXPECT_THROW(vectors_from_env(123), Error) << "input '" << bad << "'";
+    }
+  }
+  ASSERT_EQ(unsetenv("HLP_VECTORS"), 0);
+}
+
+}  // namespace
+}  // namespace hlp
