@@ -14,6 +14,8 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/hlpower.hpp"
+#include "power/activity.hpp"
+#include "rtl/partial_datapath.hpp"
 
 namespace {
 
@@ -62,6 +64,52 @@ void print_sacache_study() {
             << " entries, reloaded " << loaded.size() << "\n\n";
 }
 
+// Monte-Carlo SA of the precalc table's partial datapaths: the scalar
+// event simulator vs the bit-parallel batch engine, identical counts
+// required, wall-clock side by side.
+void print_batched_vs_scalar() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  using Clock = std::chrono::steady_clock;
+  constexpr int kVectors = 512;
+  AsciiTable t({"kind/muxA/muxB", "scalar (ms)", "batched (ms)", "speedup",
+                "identical"});
+  double total_scalar = 0.0, total_batched = 0.0;
+  for (int kind = 0; kind < kNumOpKinds; ++kind)
+    for (const auto [a, b] : {std::pair{1, 1}, {2, 2}, {4, 4}}) {
+      const OpKind k = static_cast<OpKind>(kind);
+      const Netlist dp = make_partial_datapath(k, a, b, bench_width());
+      const MapResult mapped = tech_map(dp);
+      const auto t0 = Clock::now();
+      const auto scalar =
+          simulate_activity(mapped.lut_netlist, kVectors, 1, SimEngine::kScalar);
+      const auto t1 = Clock::now();
+      const auto batched = simulate_activity(mapped.lut_netlist, kVectors, 1,
+                                             SimEngine::kBatched);
+      const auto t2 = Clock::now();
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      const double bt = std::chrono::duration<double>(t2 - t1).count();
+      total_scalar += s;
+      total_batched += bt;
+      const bool identical =
+          scalar.stats.toggles == batched.stats.toggles &&
+          scalar.stats.functional_transitions ==
+              batched.stats.functional_transitions;
+      t.row()
+          .add(std::string(to_string(k)) + "/" + std::to_string(a) + "/" +
+               std::to_string(b))
+          .add(s * 1e3, 2)
+          .add(bt * 1e3, 2)
+          .add(s / bt, 1)
+          .add(identical ? "yes" : "NO");
+    }
+  std::cout << "Simulated SA: scalar vs bit-parallel engine (" << kVectors
+            << " vectors)\n";
+  t.print(std::cout);
+  std::cout << "Overall speedup: " << fmt_fixed(total_scalar / total_batched, 1)
+            << "x\n\n";
+}
+
 void BM_SaLookupWarm(benchmark::State& state) {
   using namespace hlp;
   auto& cache = hlp::bench::sa_cache();
@@ -83,6 +131,7 @@ BENCHMARK(BM_SaComputeCold)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_sacache_study();
+  print_batched_vs_scalar();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,13 +1,19 @@
 // Figure 3: average toggle rate (millions of transitions per second) for
 // LOPASS, HLPower alpha=1 and HLPower alpha=0.5 on every benchmark, plus
-// the average decrease of the alpha=0.5 configuration.
+// the average decrease of the alpha=0.5 configuration — and the throughput
+// of the bit-parallel batch simulation engine against the scalar oracle on
+// the same stimulus.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "rtl/datapath.hpp"
+#include "sim/bit_sim.hpp"
+#include "sim/vectors.hpp"
 
 namespace {
 
@@ -41,6 +47,56 @@ void print_figure3() {
             << "%  (paper: a=1 -8.4%, a=0.5 -21.9%)\n\n";
 }
 
+// Scalar vs bit-parallel batched simulation of the paper's toggle runs:
+// identical stimulus, bit-identical counts, wall-clock side by side.
+void print_batch_comparison() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  using Clock = std::chrono::steady_clock;
+  AsciiTable t({"Bench", "scalar (ms)", "batched (ms)", "speedup",
+                "identical"});
+  double total_scalar = 0.0, total_batched = 0.0;
+  for (const auto& name : names()) {
+    flow::FlowContext& ctx = context(name);
+    const Comparison& cmp = comparison(name);
+    const Datapath dp = elaborate_datapath(
+        ctx.cdfg(), ctx.schedule(), Binding{ctx.regs(), cmp.hlp_half.fus},
+        DatapathParams{bench_width()});
+    const MapResult mapped = tech_map(dp.netlist);
+    // The pipeline's stimulus (RunSpec's default seed).
+    const auto samples = random_samples(
+        bench_vectors(), ctx.cdfg().num_inputs(), bench_width(),
+        hlp::flow::RunSpec{}.seed);
+    const auto frames = make_frames(dp, samples);
+
+    const auto t0 = Clock::now();
+    const CycleSimStats scalar = simulate_frames(mapped.lut_netlist, frames);
+    const auto t1 = Clock::now();
+    const CycleSimStats batched =
+        simulate_frames_batched(mapped.lut_netlist, frames);
+    const auto t2 = Clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    const double b = std::chrono::duration<double>(t2 - t1).count();
+    total_scalar += s;
+    total_batched += b;
+    const bool identical =
+        scalar.toggles == batched.toggles &&
+        scalar.total_transitions == batched.total_transitions &&
+        scalar.functional_transitions == batched.functional_transitions;
+    t.row()
+        .add(name)
+        .add(s * 1e3, 2)
+        .add(b * 1e3, 2)
+        .add(s / b, 1)
+        .add(identical ? "yes" : "NO");
+  }
+  std::cout << "Batch simulation: scalar vs bit-parallel (64 cycles/word, "
+            << bench::bench_vectors() << " vectors)\n";
+  t.print(std::cout);
+  std::cout << "Overall speedup: " << fmt_fixed(total_scalar / total_batched, 1)
+            << "x\n\n";
+}
+
 void BM_SimulatePr(benchmark::State& state) {
   using namespace hlp;
   using namespace hlp::bench;
@@ -58,10 +114,29 @@ void BM_SimulatePr(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatePr)->Unit(benchmark::kMillisecond);
 
+void BM_SimulateBatchedPr(benchmark::State& state) {
+  using namespace hlp;
+  using namespace hlp::bench;
+  flow::FlowContext& ctx = context("pr");
+  const Comparison& cmp = comparison("pr");
+  const Datapath dp = elaborate_datapath(ctx.cdfg(), ctx.schedule(),
+                                         Binding{ctx.regs(), cmp.hlp_half.fus},
+                                         DatapathParams{bench_width()});
+  const MapResult mapped = tech_map(dp.netlist);
+  const auto samples = std::vector<std::vector<std::uint64_t>>(
+      10, std::vector<std::uint64_t>(ctx.cdfg().num_inputs(), 0x5a));
+  const auto frames = make_frames(dp, samples);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        simulate_frames_batched(mapped.lut_netlist, frames));
+}
+BENCHMARK(BM_SimulateBatchedPr)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_figure3();
+  print_batch_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

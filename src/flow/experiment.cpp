@@ -4,7 +4,9 @@
 #include <cerrno>
 #include <chrono>
 #include <climits>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -45,14 +47,34 @@ ExperimentRunner::ExperimentRunner(int num_threads, GraphProvider provider,
                          : [](const std::string& name) {
                              return make_paper_benchmark(name);
                            }),
-      external_cache_(shared_cache) {}
+      external_cache_(shared_cache) {
+  if (const char* env = std::getenv("HLP_SA_CACHE"); env && *env != '\0')
+    sa_cache_path_ = env;
+}
+
+void ExperimentRunner::set_sa_cache_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sa_cache_path_ = std::move(path);
+}
+
+std::string ExperimentRunner::cache_file_for(int width) const {
+  return sa_cache_path_ + ".w" + std::to_string(width);
+}
 
 SaCache& ExperimentRunner::sa_cache(int width) {
   if (external_cache_ && external_cache_->width() == width)
     return *external_cache_;
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = caches_[width];
-  if (!slot) slot = std::make_unique<SaCache>(width);
+  if (!slot) {
+    slot = std::make_unique<SaCache>(width);
+    if (!sa_cache_path_.empty()) {
+      // Warm start: preload the persisted table when a previous run left
+      // one behind (a missing file just means a cold start).
+      const std::string file = cache_file_for(width);
+      if (std::ifstream probe(file); probe.good()) slot->load_file(file);
+    }
+  }
   return *slot;
 }
 
@@ -87,6 +109,7 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
       spec.binder = jobs[i].binder;
       spec.num_vectors = jobs[i].num_vectors;
       spec.seed = jobs[i].seed;
+      spec.sim_engine = jobs[i].sim_engine;
       res.outcome = pipeline.run(context_for(jobs[i]), spec);
       res.ok = true;
     } catch (const std::exception& e) {
@@ -99,6 +122,7 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
       std::min<std::size_t>(num_threads_, jobs.size() ? jobs.size() : 1);
   if (workers <= 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) execute(i);
+    persist_caches();
     return results;
   }
   std::atomic<std::size_t> next{0};
@@ -112,7 +136,23 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
     });
   }
   for (auto& th : pool) th.join();
+  persist_caches();
   return results;
+}
+
+void ExperimentRunner::persist_caches() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sa_cache_path_.empty()) return;
+  for (const auto& [width, cache] : caches_) {
+    if (cache->size() == 0) continue;
+    // Write-then-rename so concurrent runners (and crashed runs) never
+    // observe a half-written table.
+    const std::string file = cache_file_for(width);
+    const std::string tmp = file + ".tmp";
+    cache->save_file(tmp);
+    HLP_REQUIRE(std::rename(tmp.c_str(), file.c_str()) == 0,
+                "cannot move '" << tmp << "' to '" << file << "'");
+  }
 }
 
 std::vector<Job> ExperimentRunner::grid(

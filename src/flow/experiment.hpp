@@ -43,6 +43,9 @@ struct Job {
   std::uint64_t seed = 42;
   std::uint64_t reg_seed = 42;
   SchedulerSpec sched_spec;
+  /// Simulation engine for the pipeline's `simulate` stage (bit-parallel
+  /// batch by default; scalar is the reference oracle).
+  SimEngine sim_engine = SimEngine::kBatched;
   /// Free-form tag carried through to the result (display only).
   std::string label;
 };
@@ -77,6 +80,13 @@ class ExperimentRunner {
   /// width matches, else the runner-owned one).
   SaCache& sa_cache(int width);
 
+  /// Warm-start path for SA tables. When non-empty, every runner-owned
+  /// cache is preloaded from "<path>.w<width>" if that file exists, and
+  /// saved back after each run() so repeated invocations start warm. The
+  /// constructor reads the HLP_SA_CACHE env var as the default.
+  void set_sa_cache_path(std::string path);
+  const std::string& sa_cache_path() const { return sa_cache_path_; }
+
   int num_threads() const { return num_threads_; }
 
   /// Cross product helper: one job per (benchmark, binder, seed, rc), all
@@ -89,9 +99,15 @@ class ExperimentRunner {
       const std::vector<ResourceConstraint>& rcs = {}, const Job& base = {});
 
  private:
+  std::string cache_file_for(int width) const;
+  /// Save every runner-owned cache to its warm-start file (no-op when no
+  /// path is configured).
+  void persist_caches();
+
   int num_threads_;
   GraphProvider provider_;
   SaCache* external_cache_;
+  std::string sa_cache_path_;
 
   std::mutex mu_;  // guards the two maps
   std::map<std::string, std::unique_ptr<FlowContext>> contexts_;

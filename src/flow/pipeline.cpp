@@ -55,20 +55,13 @@ void stage_time(PipelineState& st) {
 }
 
 void stage_simulate(PipelineState& st) {
-  const Cdfg& g = st.ctx.cdfg();
-  // Stimulus identical to run_flow: one flat random_words draw carved into
-  // per-sample input vectors (same seed, same sequence).
-  std::vector<std::vector<std::uint64_t>> samples(st.spec.num_vectors);
-  const auto words =
-      random_words(st.spec.num_vectors * std::max(1, g.num_inputs()),
-                   st.ctx.width(), st.spec.seed);
-  std::size_t w = 0;
-  for (auto& sample : samples) {
-    sample.resize(g.num_inputs());
-    for (auto& word : sample) word = words[w++];
-  }
+  // Stimulus identical to run_flow (same seed, same sequence).
+  const auto samples =
+      random_samples(st.spec.num_vectors, st.ctx.cdfg().num_inputs(),
+                     st.ctx.width(), st.spec.seed);
   const auto frames = make_frames(st.datapath, samples);
-  st.out.flow.sim = simulate_frames(st.out.flow.mapped.lut_netlist, frames);
+  st.out.flow.sim = simulate_frames(st.out.flow.mapped.lut_netlist, frames,
+                                    st.spec.sim_engine);
 }
 
 void stage_power(PipelineState& st) {

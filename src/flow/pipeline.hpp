@@ -23,6 +23,7 @@
 #include "flow/registry.hpp"
 #include "rtl/datapath.hpp"
 #include "rtl/flow.hpp"
+#include "sim/bit_sim.hpp"
 
 namespace hlp::flow {
 
@@ -37,6 +38,10 @@ struct RunSpec {
   MapParams map{CutParams{}, MapMode::kDepth};
   TimingModel timing;
   PowerParams power;
+  /// Which engine the `simulate` stage evaluates the stimulus with. The
+  /// bit-parallel batch engine is the default; the scalar event simulator
+  /// is kept as the reference oracle (results are bit-identical).
+  SimEngine sim_engine = SimEngine::kBatched;
 };
 
 struct StageTiming {

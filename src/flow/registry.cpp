@@ -6,6 +6,7 @@
 #include "core/hlpower.hpp"
 #include "flow/flow_context.hpp"
 #include "lopass/lopass.hpp"
+#include "sched/asap_alap.hpp"
 #include "sched/force_directed.hpp"
 #include "sched/list_scheduler.hpp"
 
@@ -39,6 +40,16 @@ Registry<SchedulerFn> make_scheduler_registry() {
     const int latency =
         std::max(g.depth() + spec.latency_slack, spec.min_latency);
     return force_directed_schedule(g, latency);
+  });
+  r.add("asap", [](const Cdfg& g, const ResourceConstraint& /*rc*/,
+                   const SchedulerSpec& spec) {
+    Schedule s = asap_schedule(g);
+    s.num_steps = std::max(s.num_steps, spec.min_latency);
+    return s;
+  });
+  r.add("alap", [](const Cdfg& g, const ResourceConstraint& /*rc*/,
+                   const SchedulerSpec& spec) {
+    return alap_schedule(g, std::max(g.depth(), spec.min_latency));
   });
   return r;
 }

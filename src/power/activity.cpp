@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "power/probability.hpp"
+#include "sim/vectors.hpp"
 
 namespace hlp {
 
@@ -115,6 +116,24 @@ ActivityResult estimate_activity(const Netlist& n) {
 
 ActivityResult estimate_activity_zero_delay(const Netlist& n) {
   return estimate_impl(n, /*zero_delay=*/true);
+}
+
+SimActivityResult simulate_activity(const Netlist& n, int num_vectors,
+                                    std::uint64_t seed, SimEngine engine) {
+  HLP_REQUIRE(num_vectors >= 1, "simulate_activity needs >= 1 vector");
+  const auto frames = random_vectors(
+      num_vectors, static_cast<int>(n.inputs().size()), seed);
+  SimActivityResult r;
+  r.stats = simulate_frames(n, frames, engine);
+  const double cycles = static_cast<double>(r.stats.num_cycles);
+  r.sa.resize(n.num_nets());
+  for (NetId net = 0; net < n.num_nets(); ++net)
+    r.sa[net] = static_cast<double>(r.stats.toggles[net]) / cycles;
+  r.total_sa = static_cast<double>(r.stats.total_transitions) / cycles;
+  r.functional_sa =
+      static_cast<double>(r.stats.functional_transitions) / cycles;
+  r.glitch_sa = static_cast<double>(r.stats.glitch_transitions()) / cycles;
+  return r;
 }
 
 }  // namespace hlp

@@ -15,11 +15,13 @@
 // its transition times, and the netlist SA (Eq. 3) sums over all nodes.
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "netlist/netlist.hpp"
 #include "netlist/truth_table.hpp"
+#include "sim/bit_sim.hpp"
 
 namespace hlp {
 
@@ -65,5 +67,22 @@ ActivityResult estimate_activity(const Netlist& n);
 /// event per node, the classic Najm/Chou-Roy propagation. This is the
 /// estimator quality LOPASS had available.
 ActivityResult estimate_activity_zero_delay(const Netlist& n);
+
+/// Monte-Carlo switching activity: drive `num_vectors` random frames
+/// through the unit-delay simulation engine (batched bit-parallel by
+/// default; the scalar engine is the reference oracle) and read per-net
+/// transitions per cycle. The empirical counterpart of estimate_activity,
+/// with the same total/functional/glitch decomposition.
+struct SimActivityResult {
+  std::vector<double> sa;  // per net: unit-delay transitions per cycle
+  double total_sa = 0.0;
+  double functional_sa = 0.0;
+  double glitch_sa = 0.0;
+  CycleSimStats stats;  // the raw counts behind the averages
+};
+
+SimActivityResult simulate_activity(const Netlist& n, int num_vectors,
+                                    std::uint64_t seed,
+                                    SimEngine engine = SimEngine::kBatched);
 
 }  // namespace hlp

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -12,9 +13,15 @@
 
 namespace hlp {
 
-SaCache::SaCache(int width, MapParams map_params)
-    : width_(width), map_params_(map_params) {
+SaCache::SaCache(int width, MapParams map_params, SaMode mode, int sim_vectors,
+                 std::uint64_t sim_seed)
+    : width_(width),
+      map_params_(map_params),
+      mode_(mode),
+      sim_vectors_(sim_vectors),
+      sim_seed_(sim_seed) {
   HLP_REQUIRE(width >= 1, "width must be >= 1");
+  HLP_REQUIRE(sim_vectors >= 1, "sim_vectors must be >= 1");
 }
 
 std::uint64_t SaCache::key(OpKind kind, int a, int b) {
@@ -22,38 +29,55 @@ std::uint64_t SaCache::key(OpKind kind, int a, int b) {
          (static_cast<std::uint64_t>(a) << 20) | static_cast<std::uint64_t>(b);
 }
 
+SaCache::Shard& SaCache::shard_for(std::uint64_t key) const {
+  // Fibonacci mixing: consecutive (kind, a, b) keys spread across shards.
+  return shards_[((key * 0x9e3779b97f4a7c15ull) >> 48) % kNumShards];
+}
+
 double SaCache::compute_uncached(OpKind kind, int n_mux_a, int n_mux_b) const {
   const Netlist dp = make_partial_datapath(kind, n_mux_a, n_mux_b, width_);
   const MapResult mapped = tech_map(dp, map_params_);
+  if (mode_ == SaMode::kSimulated)
+    return simulate_activity(mapped.lut_netlist, sim_vectors_, sim_seed_)
+        .total_sa;
   return estimate_activity(mapped.lut_netlist).total_sa;
 }
 
 double SaCache::switching_activity(OpKind kind, int n_mux_a, int n_mux_b) {
   HLP_REQUIRE(n_mux_a >= 1 && n_mux_b >= 1, "mux sizes must be >= 1");
   const std::uint64_t k = key(kind, n_mux_a, n_mux_b);
+  Shard& shard = shard_for(k);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = table_.find(k);
-    if (it != table_.end()) return it->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(k);
+    if (it != shard.table.end()) return it->second;
   }
-  // Compute outside the lock so concurrent misses on different keys run in
-  // parallel. The computation is deterministic, so a racing duplicate for
-  // the same key produces the identical value; first insertion wins.
+  // Compute outside the lock so concurrent misses run in parallel. The
+  // computation is deterministic, so a racing duplicate for the same key
+  // produces the identical value; first insertion wins.
   const double sa = compute_uncached(kind, n_mux_a, n_mux_b);
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = table_.emplace(k, sa);
-  if (inserted) ++misses_;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.table.emplace(k, sa);
+  if (inserted) ++shard.misses;
   return it->second;
 }
 
 std::size_t SaCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return table_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.table.size();
+  }
+  return total;
 }
 
 std::uint64_t SaCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.misses;
+  }
+  return total;
 }
 
 void SaCache::precompute(int max_mux_a, int max_mux_b) {
@@ -64,10 +88,16 @@ void SaCache::precompute(int max_mux_a, int max_mux_b) {
 }
 
 void SaCache::save(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot into one ordered map so the file is stable across shard
+  // layouts and hash orders.
+  std::map<std::uint64_t, double> snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    snapshot.insert(shard.table.begin(), shard.table.end());
+  }
   os << "# SaCache width=" << width_ << " k=" << map_params_.cuts.k << "\n";
   os.precision(17);  // bit-exact double round trip
-  for (const auto& [k, sa] : table_) {
+  for (const auto& [k, sa] : snapshot) {
     const int kind = static_cast<int>(k >> 40);
     const int a = static_cast<int>((k >> 20) & 0xfffff);
     const int b = static_cast<int>(k & 0xfffff);
@@ -77,7 +107,6 @@ void SaCache::save(std::ostream& os) const {
 }
 
 void SaCache::load(std::istream& is) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string line;
   while (std::getline(is, line)) {
     const auto hash = line.find('#');
@@ -92,7 +121,11 @@ void SaCache::load(std::istream& is) {
       kind = OpKind::kMult;
     else
       HLP_REQUIRE(false, "unknown op kind '" << tok[0] << "'");
-    table_[key(kind, std::stoi(tok[1]), std::stoi(tok[2]))] = std::stod(tok[3]);
+    const std::uint64_t k =
+        key(kind, std::stoi(tok[1]), std::stoi(tok[2]));
+    Shard& shard = shard_for(k);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.table[k] = std::stod(tok[3]);
   }
 }
 

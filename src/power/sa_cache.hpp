@@ -6,11 +6,19 @@
 // multiplexers and functional units... stored in a text file. A hash table
 // is then generated when HLPower is initially run."
 //
-// SaCache computes, for a key (op kind, muxA size, muxB size), the
-// glitch-aware SA of the 4-LUT-mapped partial datapath, memoises it, and
-// can persist/reload the table as text.
+// SaCache computes, for a key (op kind, muxA size, muxB size), the SA of
+// the 4-LUT-mapped partial datapath, memoises it, and can persist/reload
+// the table as text. Two SA backends are supported: the paper's analytic
+// glitch-aware estimator (kEstimated, the default) and Monte-Carlo
+// unit-delay simulation through the bit-parallel batch engine (kSimulated).
+//
+// The memo table is sharded by key hash (kNumShards independent mutex+map
+// shards) so large ExperimentRunner fleets hammering the hot lookup path do
+// not contend on a single lock. Miss counts stay exact via per-shard
+// counters summed on read.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -22,20 +30,30 @@
 
 namespace hlp {
 
+/// Which backend computes a cache entry on a miss.
+enum class SaMode { kEstimated, kSimulated };
+
 class SaCache {
  public:
+  /// Number of independent mutex+map shards of the memo table.
+  static constexpr int kNumShards = 16;
+
   /// `width`: datapath bit width; `map_params`: mapper configuration used
-  /// for every partial datapath.
-  explicit SaCache(int width = 8, MapParams map_params = {});
+  /// for every partial datapath; `mode` selects the SA backend
+  /// (kSimulated uses `sim_vectors` random frames from `sim_seed` through
+  /// the batched unit-delay engine).
+  explicit SaCache(int width = 8, MapParams map_params = {},
+                   SaMode mode = SaMode::kEstimated, int sim_vectors = 256,
+                   std::uint64_t sim_seed = 1);
 
   /// Glitch-aware SA for (kind, nA-input muxA, nB-input muxB); computed on
   /// demand and memoised. nA/nB >= 1 (1 = direct connection).
   ///
-  /// Safe to call concurrently: the memo table is mutex-guarded, and the
-  /// (deterministic) SA computation itself runs outside the lock so
-  /// concurrent misses on different keys do not serialise. Two threads
-  /// racing on the same cold key both compute the same value; exactly one
-  /// insertion wins and is counted as the miss.
+  /// Safe to call concurrently: each key maps to one of kNumShards
+  /// mutex-guarded table shards, and the (deterministic) SA computation
+  /// itself runs outside the lock so concurrent misses do not serialise.
+  /// Two threads racing on the same cold key both compute the same value;
+  /// exactly one insertion wins and is counted as the miss.
   double switching_activity(OpKind kind, int n_mux_a, int n_mux_b);
 
   /// Always-compute variant (ignores and does not touch the memo) — used to
@@ -54,19 +72,29 @@ class SaCache {
 
   std::size_t size() const;
   int width() const { return width_; }
+  SaMode mode() const { return mode_; }
 
   /// Number of cache misses (table insertions from on-demand computation) —
-  /// used by the ablation bench to show the precalc speedup.
+  /// used by the ablation bench to show the precalc speedup. Exact: summed
+  /// over the per-shard counters.
   std::uint64_t misses() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, double> table;
+    std::uint64_t misses = 0;
+  };
+
   static std::uint64_t key(OpKind kind, int a, int b);
+  Shard& shard_for(std::uint64_t key) const;
 
   int width_;
   MapParams map_params_;
-  mutable std::mutex mu_;  // guards table_ and misses_
-  std::unordered_map<std::uint64_t, double> table_;
-  std::uint64_t misses_ = 0;
+  SaMode mode_;
+  int sim_vectors_;
+  std::uint64_t sim_seed_;
+  mutable std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace hlp

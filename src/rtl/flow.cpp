@@ -35,17 +35,8 @@ FlowResult run_flow(const Cdfg& g, const Schedule& s, const Binding& b,
 
   // Stimulus: num_vectors random input samples, each run through the whole
   // schedule (load phase + every control step).
-  std::vector<std::vector<std::uint64_t>> samples(params.num_vectors);
-  {
-    const auto words = random_words(
-        params.num_vectors * std::max(1, g.num_inputs()), params.width,
-        params.seed);
-    std::size_t w = 0;
-    for (auto& sample : samples) {
-      sample.resize(g.num_inputs());
-      for (auto& word : sample) word = words[w++];
-    }
-  }
+  const auto samples = random_samples(params.num_vectors, g.num_inputs(),
+                                      params.width, params.seed);
   const auto frames = make_frames(dp, samples);
   r.sim = simulate_frames(r.mapped.lut_netlist, frames);
 

@@ -1,0 +1,404 @@
+#include "sim/bit_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+BitSimulator::BitSimulator(const Netlist& n) : netlist_(&n) {
+  n.validate();
+  const int num_nets = n.num_nets();
+  const int num_gates = n.num_gates();
+
+  tt_bits_.resize(num_gates);
+  tt_ins_.resize(num_gates);
+  gate_out_.resize(num_gates);
+  in_start_.resize(num_gates + 1, 0);
+  for (int gi = 0; gi < num_gates; ++gi) {
+    const Gate& g = n.gates()[gi];
+    tt_bits_[gi] = g.tt.bits();
+    tt_ins_[gi] = static_cast<int>(g.ins.size());
+    gate_out_[gi] = g.out;
+    in_start_[gi + 1] = in_start_[gi] + static_cast<int>(g.ins.size());
+  }
+  in_nets_.reserve(in_start_[num_gates]);
+  for (int gi = 0; gi < num_gates; ++gi)
+    for (NetId in : n.gates()[gi].ins) in_nets_.push_back(in);
+
+  // Fanout CSR, deduped the same way as the scalar simulator (a gate
+  // reading the same net twice re-evaluates once).
+  std::vector<std::vector<int>> fanout(num_nets);
+  for (int gi = 0; gi < num_gates; ++gi)
+    for (NetId in : n.gates()[gi].ins) {
+      auto& v = fanout[in];
+      if (v.empty() || v.back() != gi) v.push_back(gi);
+    }
+  fan_start_.resize(num_nets + 1, 0);
+  for (NetId net = 0; net < num_nets; ++net)
+    fan_start_[net + 1] = fan_start_[net] + static_cast<int>(fanout[net].size());
+  fan_gates_.reserve(fan_start_[num_nets]);
+  for (NetId net = 0; net < num_nets; ++net)
+    fan_gates_.insert(fan_gates_.end(), fanout[net].begin(), fanout[net].end());
+
+  topo_ = n.topo_gates();
+  value_.assign(num_nets, 0);
+  staged_.assign(num_nets, 0);
+  staged_dirty_.assign(num_nets, 0);
+  gate_queued_.assign(num_gates, 0);
+}
+
+void BitSimulator::load_state(const std::vector<std::uint64_t>& words) {
+  HLP_CHECK(words.size() == value_.size(), "state size mismatch");
+  value_ = words;
+}
+
+void BitSimulator::stage_source(NetId n, std::uint64_t word) {
+  HLP_CHECK(netlist_->is_comb_source(n),
+            "net '" << netlist_->net_name(n) << "' is not a simulation source");
+  staged_[n] = word;
+  staged_dirty_[n] = 1;
+}
+
+std::uint64_t BitSimulator::eval_gate(int gi) const {
+  const int k = tt_ins_[gi];
+  if (k == 0) return (tt_bits_[gi] & 1u) ? ~0ull : 0ull;
+  // Shannon cofactor reduction: start from the 2^k constant rows of the
+  // truth table and fold one input per level; ~3*(2^k - 1) word ops cover
+  // all 64 lanes.
+  std::uint64_t cof[64];
+  const std::uint64_t bits = tt_bits_[gi];
+  const std::uint32_t rows = 1u << k;
+  for (std::uint32_t m = 0; m < rows; ++m)
+    cof[m] = ((bits >> m) & 1u) ? ~0ull : 0ull;
+  const int base = in_start_[gi];
+  for (int j = k - 1; j >= 0; --j) {
+    const std::uint64_t x = value_[in_nets_[base + j]];
+    const std::uint32_t half = 1u << j;
+    for (std::uint32_t i = 0; i < half; ++i)
+      cof[i] = (cof[i] & ~x) | (cof[i + half] & x);
+  }
+  return cof[0];
+}
+
+void BitSimulator::settle_zero_delay() {
+  const int num_nets = static_cast<int>(value_.size());
+  for (NetId net = 0; net < num_nets; ++net) {
+    if (!staged_dirty_[net]) continue;
+    staged_dirty_[net] = 0;
+    value_[net] = staged_[net];
+  }
+  for (int gi : topo_) value_[gate_out_[gi]] = eval_gate(gi);
+}
+
+template <typename OnChange>
+int BitSimulator::settle_events(OnChange&& on_change) {
+  const int num_nets = static_cast<int>(value_.size());
+  changed_.clear();
+  for (NetId net = 0; net < num_nets; ++net) {
+    if (!staged_dirty_[net]) continue;
+    staged_dirty_[net] = 0;
+    const std::uint64_t diff = value_[net] ^ staged_[net];
+    if (diff) {
+      value_[net] = staged_[net];
+      on_change(net, diff);
+      changed_.push_back(net);
+    }
+  }
+
+  int steps = 0;
+  const int max_steps = 4 * static_cast<int>(gate_out_.size()) + 8;
+  while (!changed_.empty()) {
+    ++steps;
+    HLP_CHECK(steps <= max_steps,
+              "bit-parallel simulation did not quiesce (oscillation?)");
+    dirty_gates_.clear();
+    for (NetId net : changed_)
+      for (int fi = fan_start_[net]; fi < fan_start_[net + 1]; ++fi) {
+        const int gi = fan_gates_[fi];
+        if (!gate_queued_[gi]) {
+          gate_queued_[gi] = 1;
+          dirty_gates_.push_back(gi);
+        }
+      }
+    // Evaluate with time-t words; outputs change at t+1 (two-pass, so the
+    // lockstep lanes see exactly the scalar event schedule).
+    new_words_.resize(dirty_gates_.size());
+    for (std::size_t i = 0; i < dirty_gates_.size(); ++i)
+      new_words_[i] = eval_gate(dirty_gates_[i]);
+    next_changed_.clear();
+    for (std::size_t i = 0; i < dirty_gates_.size(); ++i) {
+      const int gi = dirty_gates_[i];
+      gate_queued_[gi] = 0;
+      const NetId out = gate_out_[gi];
+      const std::uint64_t diff = value_[out] ^ new_words_[i];
+      if (diff) {
+        value_[out] = new_words_[i];
+        on_change(out, diff);
+        next_changed_.push_back(out);
+      }
+    }
+    std::swap(changed_, next_changed_);
+  }
+  return steps;
+}
+
+int BitSimulator::settle(std::vector<std::uint64_t>* toggles_total,
+                         std::vector<std::vector<std::uint64_t>>* per_lane) {
+  if (per_lane) {
+    return settle_events([&](NetId net, std::uint64_t diff) {
+      if (toggles_total)
+        (*toggles_total)[net] += static_cast<std::uint64_t>(std::popcount(diff));
+      while (diff) {
+        const int lane = std::countr_zero(diff);
+        diff &= diff - 1;
+        ++(*per_lane)[lane][net];
+      }
+    });
+  }
+  if (toggles_total) {
+    return settle_events([&](NetId net, std::uint64_t diff) {
+      (*toggles_total)[net] += static_cast<std::uint64_t>(std::popcount(diff));
+    });
+  }
+  return settle_events([](NetId, std::uint64_t) {});
+}
+
+namespace {
+
+// Scalar zero-delay gate evaluation for the phase-1 latch recurrence.
+struct ConeEvaluator {
+  std::vector<std::uint64_t> tt;
+  std::vector<int> k;
+  std::vector<NetId> out;
+  std::vector<int> in_start;
+  std::vector<NetId> in_nets;
+
+  explicit ConeEvaluator(const Netlist& n, const std::vector<int>& gate_ids) {
+    in_start.push_back(0);
+    for (int gi : gate_ids) {
+      const Gate& g = n.gates()[gi];
+      tt.push_back(g.tt.bits());
+      k.push_back(static_cast<int>(g.ins.size()));
+      out.push_back(g.out);
+      for (NetId in : g.ins) in_nets.push_back(in);
+      in_start.push_back(static_cast<int>(in_nets.size()));
+    }
+  }
+
+  void eval(std::vector<char>& value) const {
+    for (std::size_t i = 0; i < tt.size(); ++i) {
+      std::uint32_t m = 0;
+      for (int j = 0; j < k[i]; ++j)
+        m |= static_cast<std::uint32_t>(value[in_nets[in_start[i] + j]] & 1)
+             << j;
+      value[out[i]] = static_cast<char>((tt[i] >> m) & 1u);
+    }
+  }
+};
+
+void check_frame_arity(const Netlist& n,
+                       const std::vector<std::vector<char>>& frames) {
+  for (const auto& frame : frames)
+    HLP_REQUIRE(frame.size() == n.inputs().size(),
+                "frame has " << frame.size() << " bits, netlist has "
+                             << n.inputs().size() << " inputs");
+}
+
+}  // namespace
+
+CycleSimStats simulate_frames_batched(
+    const Netlist& n, const std::vector<std::vector<char>>& frames) {
+  check_frame_arity(n, frames);
+  const int num_nets = n.num_nets();
+  CycleSimStats stats;
+  stats.num_cycles = frames.size();
+  stats.toggles.assign(num_nets, 0);
+  const std::size_t T = frames.size();
+  if (T == 0) return stats;
+
+  BitSimulator sim(n);
+  // Initial settled state s0 (all sources 0): one zero-delay word pass with
+  // every lane identical, then read lane 0.
+  sim.settle_zero_delay();
+  std::vector<char> sval(num_nets);
+  for (NetId net = 0; net < num_nets; ++net)
+    sval[net] = static_cast<char>(sim.word(net) & 1u);
+  const std::vector<char> s0 = sval;
+
+  const auto& pis = n.inputs();
+  const auto& latches = n.latches();
+  std::vector<NetId> sources(pis);
+  for (const auto& l : latches) sources.push_back(l.q);
+
+  // Phase 1 — scalar latch-state recurrence. Only the fanin cone of the
+  // latch D pins must be evaluated per cycle; everything else is replayed
+  // word-parallel in phase 2. Source values per cycle are packed into one
+  // bit lane per cycle (64 cycles per word).
+  const std::size_t blocks = (T + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> packed(
+      sources.size(), std::vector<std::uint64_t>(blocks, 0));
+  std::vector<char> need(num_nets, 0);
+  for (const auto& l : latches) need[l.d] = 1;
+  std::vector<int> cone;
+  const std::vector<int> topo = n.topo_gates();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Gate& g = n.gates()[*it];
+    if (!need[g.out]) continue;
+    cone.push_back(*it);
+    for (NetId in : g.ins) need[in] = 1;
+  }
+  std::reverse(cone.begin(), cone.end());
+  const ConeEvaluator cone_eval(n, cone);
+
+  std::vector<char> qv(latches.size());
+  for (std::size_t t = 0; t < T; ++t) {
+    // Clock edge: every Q samples its D from the previous settled state,
+    // simultaneously (matching UnitDelaySimulator::clock_edge).
+    for (std::size_t i = 0; i < latches.size(); ++i) qv[i] = sval[latches[i].d];
+    for (std::size_t j = 0; j < pis.size(); ++j)
+      sval[pis[j]] = frames[t][j] ? 1 : 0;
+    for (std::size_t i = 0; i < latches.size(); ++i) sval[latches[i].q] = qv[i];
+    cone_eval.eval(sval);
+    for (std::size_t s = 0; s < sources.size(); ++s)
+      packed[s][t >> 6] |=
+          static_cast<std::uint64_t>(sval[sources[s]] & 1) << (t & 63);
+  }
+
+  // Phase 2 — word-parallel replay, 64 consecutive cycles per block. Lane l
+  // of block b is cycle b*64+l: a zero-delay pass over the source words
+  // yields every settled state at once; the initial state of each lane is
+  // the previous lane's settled state (shifted in, with a carry bit across
+  // blocks); a single event-driven unit-delay settle then reproduces all 64
+  // transients, glitches included.
+  std::vector<std::uint64_t> settled(num_nets), init(num_nets),
+      carry(num_nets, 0), src_words(sources.size());
+  std::uint64_t functional = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const int L = static_cast<int>(std::min<std::size_t>(64, T - b * 64));
+    const std::uint64_t lowmask = L == 64 ? ~0ull : (1ull << L) - 1;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      std::uint64_t w = packed[s][b];
+      if (L < 64) {
+        // Freeze inactive lanes by replicating the last active cycle's
+        // value: no source change, no activity, no miscounts.
+        if ((w >> (L - 1)) & 1)
+          w |= ~lowmask;
+        else
+          w &= lowmask;
+      }
+      src_words[s] = w;
+      sim.stage_source(sources[s], w);
+    }
+    sim.settle_zero_delay();
+    std::copy(sim.state().begin(), sim.state().end(), settled.begin());
+    for (NetId net = 0; net < num_nets; ++net) {
+      init[net] = (settled[net] << 1) |
+                  (b == 0 ? static_cast<std::uint64_t>(s0[net]) : carry[net]);
+      functional += static_cast<std::uint64_t>(
+          std::popcount(init[net] ^ settled[net]));
+      carry[net] = (settled[net] >> (L - 1)) & 1u;
+    }
+    sim.load_state(init);
+    for (std::size_t s = 0; s < sources.size(); ++s)
+      sim.stage_source(sources[s], src_words[s]);
+    sim.settle(&stats.toggles);
+  }
+
+  stats.functional_transitions = functional;
+  for (auto v : stats.toggles) stats.total_transitions += v;
+  return stats;
+}
+
+CycleSimStats simulate_frames(const Netlist& n,
+                              const std::vector<std::vector<char>>& frames,
+                              SimEngine engine) {
+  return engine == SimEngine::kScalar ? simulate_frames(n, frames)
+                                      : simulate_frames_batched(n, frames);
+}
+
+std::vector<CycleSimStats> simulate_batch(
+    const Netlist& n,
+    const std::vector<std::vector<std::vector<char>>>& runs) {
+  const int num_nets = n.num_nets();
+  for (const auto& run : runs) check_frame_arity(n, run);
+  std::vector<CycleSimStats> results(runs.size());
+  if (runs.empty()) return results;
+
+  BitSimulator sim(n);
+  const auto& pis = n.inputs();
+  const auto& latches = n.latches();
+
+  for (std::size_t g0 = 0; g0 < runs.size(); g0 += BitSimulator::kLanes) {
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(BitSimulator::kLanes, runs.size() - g0));
+    // Reset to the all-zero-source settled state in every lane.
+    for (NetId pi : pis) sim.stage_source(pi, 0);
+    for (const auto& l : latches) sim.stage_source(l.q, 0);
+    sim.settle_zero_delay();
+
+    std::size_t t_max = 0;
+    for (int l = 0; l < lanes; ++l)
+      t_max = std::max(t_max, runs[g0 + l].size());
+    std::vector<std::vector<std::uint64_t>> lane_toggles(
+        lanes, std::vector<std::uint64_t>(num_nets, 0));
+    std::vector<std::uint64_t> fn(lanes, 0);
+    std::vector<std::uint64_t> before(num_nets);
+
+    for (std::size_t t = 0; t < t_max; ++t) {
+      std::uint64_t active = 0;
+      for (int l = 0; l < lanes; ++l)
+        if (t < runs[g0 + l].size()) active |= 1ull << l;
+      std::copy(sim.state().begin(), sim.state().end(), before.begin());
+      // Stage everything from the pre-edge state before applying anything:
+      // primary inputs for active lanes (finished lanes are frozen by
+      // re-staging their current value), then the clock edge Q <- D.
+      for (std::size_t j = 0; j < pis.size(); ++j) {
+        std::uint64_t bits = 0;
+        for (int l = 0; l < lanes; ++l)
+          if ((active >> l) & 1 && runs[g0 + l][t][j]) bits |= 1ull << l;
+        sim.stage_source(pis[j],
+                         (sim.word(pis[j]) & ~active) | (bits & active));
+      }
+      for (const auto& l : latches)
+        sim.stage_source(
+            l.q, (sim.word(l.d) & active) | (sim.word(l.q) & ~active));
+      sim.settle(nullptr, &lane_toggles);
+      for (NetId net = 0; net < num_nets; ++net) {
+        std::uint64_t diff = before[net] ^ sim.word(net);
+        while (diff) {
+          const int lane = std::countr_zero(diff);
+          diff &= diff - 1;
+          ++fn[lane];
+        }
+      }
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+      CycleSimStats& st = results[g0 + l];
+      st.num_cycles = runs[g0 + l].size();
+      st.toggles = std::move(lane_toggles[l]);
+      st.functional_transitions = fn[l];
+      for (auto v : st.toggles) st.total_transitions += v;
+    }
+  }
+  return results;
+}
+
+std::vector<CycleSimStats> simulate_batch(
+    const std::vector<const Netlist*>& netlists,
+    const std::vector<std::vector<char>>& frames) {
+  for (const Netlist* n : netlists) {
+    HLP_REQUIRE(n != nullptr, "null netlist in shared-stimulus batch");
+    HLP_REQUIRE(n->inputs().size() == netlists.front()->inputs().size(),
+                "shared-stimulus batch requires equal input counts");
+  }
+  std::vector<CycleSimStats> results;
+  results.reserve(netlists.size());
+  for (const Netlist* n : netlists)
+    results.push_back(simulate_frames_batched(*n, frames));
+  return results;
+}
+
+}  // namespace hlp

@@ -1,0 +1,135 @@
+// Bit-parallel batched simulation engine.
+//
+// The scalar UnitDelaySimulator carries one `char` per net and walks the
+// netlist once per stimulus frame, so a 1000-vector Figure 3 run traverses
+// the fabric a thousand times. This engine packs 64 simulation lanes into
+// one `uint64_t` word per net and settles the combinational fabric on whole
+// words: every gate evaluation is a short Shannon-cofactor reduction of its
+// truth table over the input words, covering all 64 lanes at once, and
+// toggle counting is a popcount of the change word.
+//
+// Two batching axes are provided, both bit-identical to the scalar path
+// (same per-net toggle counts, same functional/glitch split — asserted by
+// tests/bit_sim_test.cpp):
+//
+//  - simulate_frames_batched: ONE stimulus sequence, 64 consecutive cycles
+//    per word. Cycles are made independent by splitting the run into a
+//    cheap scalar phase that advances only the latch-state recurrence
+//    (zero-delay evaluation of the latch-D fanin cone) and a word-parallel
+//    phase that replays each 64-cycle block: a single topological pass
+//    yields all settled states, then one event-driven unit-delay settle on
+//    words reproduces every transient, glitches included.
+//
+//  - simulate_batch: MANY independent stimulus sequences (e.g. many seeds
+//    of one binding) as lanes. Latch state lives per lane inside the word,
+//    so the whole cycle loop — clock edge, settle, counting — is word
+//    parallel with no scalar phase at all. Runs may have different lengths;
+//    finished lanes are frozen by re-staging their previous source values.
+//
+// A shared-stimulus overload evaluates many bindings' netlists against one
+// frame sequence (the paper's controlled comparison) through the batched
+// single-run path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/schedule_sim.hpp"
+
+namespace hlp {
+
+/// Which engine the flow pipeline / experiment runner evaluates stimulus
+/// with. The scalar path is kept as the reference oracle.
+enum class SimEngine { kScalar, kBatched };
+
+/// Word-parallel netlist evaluator: 64 lanes per uint64_t, one word per
+/// net. Lane semantics (cycles vs runs) are chosen by the caller; the
+/// engine only knows about source words, zero-delay passes and unit-delay
+/// event settling with per-net popcount toggle counters.
+class BitSimulator {
+ public:
+  static constexpr int kLanes = 64;
+
+  explicit BitSimulator(const Netlist& n);
+
+  const Netlist& netlist() const { return *netlist_; }
+  int num_nets() const { return static_cast<int>(value_.size()); }
+
+  /// Current value word of a net (bit l = lane l).
+  std::uint64_t word(NetId n) const { return value_[n]; }
+  /// Overwrite the value word of every net.
+  void load_state(const std::vector<std::uint64_t>& words);
+  const std::vector<std::uint64_t>& state() const { return value_; }
+
+  /// Stage a source word (primary input or latch Q) for the next settle.
+  void stage_source(NetId n, std::uint64_t word);
+
+  /// Single topological pass: every net takes its zero-delay value under
+  /// the staged sources. No toggle counting; staged marks are consumed.
+  void settle_zero_delay();
+
+  /// Unit-delay event settle from the staged sources, lockstep across all
+  /// 64 lanes. Per-net transition counts (summed over lanes) accumulate
+  /// into `toggles_total` when non-null. When `per_lane` is non-null it
+  /// receives one counter vector per lane, exactly matching what 64
+  /// independent scalar simulations would count. Returns unit steps to
+  /// quiescence (the max over lanes).
+  int settle(std::vector<std::uint64_t>* toggles_total,
+             std::vector<std::vector<std::uint64_t>>* per_lane = nullptr);
+
+  /// Evaluate one gate's function over the current value words (Shannon
+  /// cofactor reduction of the truth table).
+  std::uint64_t eval_gate(int gate_index) const;
+
+ private:
+  template <typename OnChange>
+  int settle_events(OnChange&& on_change);
+
+  const Netlist* netlist_;
+  // Flattened gate structure (CSR) for cache-friendly traversal.
+  std::vector<std::uint64_t> tt_bits_;
+  std::vector<int> tt_ins_;      // fanin count per gate
+  std::vector<NetId> gate_out_;
+  std::vector<int> in_start_;    // gate -> offset into in_nets_
+  std::vector<NetId> in_nets_;
+  std::vector<int> fan_start_;   // net -> offset into fan_gates_
+  std::vector<int> fan_gates_;
+  std::vector<int> topo_;
+
+  std::vector<std::uint64_t> value_;
+  std::vector<std::uint64_t> staged_;
+  std::vector<char> staged_dirty_;
+  // Scratch for the event loop (persistent to avoid per-settle allocation).
+  std::vector<char> gate_queued_;
+  std::vector<int> dirty_gates_;
+  std::vector<std::uint64_t> new_words_;
+  std::vector<NetId> changed_, next_changed_;
+};
+
+/// Batched drop-in for simulate_frames: same stimulus semantics, same
+/// result, 64 cycles per word. `frames[t]` holds one bit per primary input
+/// in netlist input order.
+CycleSimStats simulate_frames_batched(
+    const Netlist& n, const std::vector<std::vector<char>>& frames);
+
+/// Dispatch helper: scalar reference path or the batched engine.
+CycleSimStats simulate_frames(const Netlist& n,
+                              const std::vector<std::vector<char>>& frames,
+                              SimEngine engine);
+
+/// Many independent stimulus sequences through one netlist, 64 runs per
+/// word. Returns one CycleSimStats per run, bit-identical to running
+/// simulate_frames(n, runs[i]) separately. Run lengths may differ.
+std::vector<CycleSimStats> simulate_batch(
+    const Netlist& n,
+    const std::vector<std::vector<std::vector<char>>>& runs);
+
+/// Many bindings' netlists sharing one stimulus (the paper's controlled
+/// comparison): each netlist is evaluated with the batched single-run path.
+/// All netlists must have the same number of primary inputs.
+std::vector<CycleSimStats> simulate_batch(
+    const std::vector<const Netlist*>& netlists,
+    const std::vector<std::vector<char>>& frames);
+
+}  // namespace hlp

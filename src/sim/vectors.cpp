@@ -1,5 +1,7 @@
 #include "sim/vectors.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace hlp {
@@ -22,6 +24,22 @@ std::vector<std::uint64_t> random_words(int num_vectors, int width,
   const std::uint64_t mask = width == 64 ? ~0ull : (1ull << width) - 1ull;
   for (auto& w : out) w = rng.next_u64() & mask;
   return out;
+}
+
+std::vector<std::vector<std::uint64_t>> random_samples(int num_vectors,
+                                                       int num_inputs,
+                                                       int width,
+                                                       std::uint64_t seed) {
+  HLP_REQUIRE(num_vectors >= 0 && num_inputs >= 0, "negative sample shape");
+  std::vector<std::vector<std::uint64_t>> samples(num_vectors);
+  const auto words =
+      random_words(num_vectors * std::max(1, num_inputs), width, seed);
+  std::size_t w = 0;
+  for (auto& sample : samples) {
+    sample.resize(num_inputs);
+    for (auto& word : sample) word = words[w++];
+  }
+  return samples;
 }
 
 }  // namespace hlp

@@ -20,4 +20,13 @@ std::vector<std::vector<char>> random_vectors(int num_vectors, int num_bits,
 std::vector<std::uint64_t> random_words(int num_vectors, int width,
                                         std::uint64_t seed);
 
+/// `num_vectors` input samples of `num_inputs` words each, carved from one
+/// flat random_words draw — the stimulus sequence shared by run_flow, the
+/// pipeline's simulate stage, and the bench comparisons (same seed, same
+/// sequence, bit-for-bit).
+std::vector<std::vector<std::uint64_t>> random_samples(int num_vectors,
+                                                       int num_inputs,
+                                                       int width,
+                                                       std::uint64_t seed);
+
 }  // namespace hlp

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "binding/register_binder.hpp"
@@ -34,8 +36,37 @@ flow::ContextOptions small_options() {
 TEST(Registry, BuiltinsRegistered) {
   EXPECT_TRUE(flow::scheduler_registry().contains("list"));
   EXPECT_TRUE(flow::scheduler_registry().contains("fds"));
+  EXPECT_TRUE(flow::scheduler_registry().contains("asap"));
+  EXPECT_TRUE(flow::scheduler_registry().contains("alap"));
   EXPECT_TRUE(flow::binder_registry().contains("hlpower"));
   EXPECT_TRUE(flow::binder_registry().contains("lopass"));
+}
+
+TEST(Registry, AsapAlapSchedulersRunThroughPipeline) {
+  // ASAP/ALAP selected by name drive a full pipeline evaluation; validate
+  // against the CDFG and check the expected schedule shapes.
+  const Cdfg g = make_paper_benchmark("pr");
+  flow::SchedulerSpec spec;
+  const Schedule asap =
+      flow::scheduler_registry().at("asap")(g, ResourceConstraint{}, spec);
+  const Schedule alap =
+      flow::scheduler_registry().at("alap")(g, ResourceConstraint{}, spec);
+  asap.validate(g);
+  alap.validate(g);
+  EXPECT_EQ(asap.num_steps, g.depth());
+  EXPECT_EQ(alap.num_steps, g.depth());
+  for (int op = 0; op < g.num_ops(); ++op)
+    EXPECT_LE(asap.cstep(op), alap.cstep(op));
+
+  for (const char* sched : {"asap", "alap"}) {
+    flow::ContextOptions opt = small_options();
+    opt.scheduler = sched;
+    flow::FlowContext ctx(make_paper_benchmark("pr"), {0, 0}, std::move(opt));
+    flow::RunSpec rs;
+    rs.num_vectors = 10;
+    const flow::PipelineOutcome out = flow::Pipeline::standard().run(ctx, rs);
+    EXPECT_GT(out.flow.sim.total_transitions, 0u) << sched;
+  }
 }
 
 TEST(Registry, UnknownNameThrowsWithKnownNames) {
@@ -155,6 +186,56 @@ TEST(Pipeline, StageOverrideReplacesBinder) {
 
   EXPECT_THROW(pipeline.replace("no-such-stage", [](flow::PipelineState&) {}),
                Error);
+}
+
+TEST(Pipeline, BatchedAndScalarEnginesAgreeBitForBit) {
+  // The simulate stage's batched default must reproduce the scalar oracle
+  // exactly: same toggles, same functional/glitch split, same power report.
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  flow::RunSpec scalar_spec, batched_spec;
+  scalar_spec.num_vectors = batched_spec.num_vectors = kVectors;
+  scalar_spec.sim_engine = SimEngine::kScalar;
+  batched_spec.sim_engine = SimEngine::kBatched;
+  const flow::PipelineOutcome a =
+      flow::Pipeline::standard().run(ctx, scalar_spec);
+  const flow::PipelineOutcome b =
+      flow::Pipeline::standard().run(ctx, batched_spec);
+  EXPECT_EQ(a.flow.sim.toggles, b.flow.sim.toggles);
+  EXPECT_EQ(a.flow.sim.total_transitions, b.flow.sim.total_transitions);
+  EXPECT_EQ(a.flow.sim.functional_transitions,
+            b.flow.sim.functional_transitions);
+  EXPECT_EQ(a.flow.sim.glitch_transitions(), b.flow.sim.glitch_transitions());
+  EXPECT_DOUBLE_EQ(a.flow.report.dynamic_power_mw,
+                   b.flow.report.dynamic_power_mw);
+  EXPECT_DOUBLE_EQ(a.flow.report.toggle_rate_mps, b.flow.report.toggle_rate_mps);
+}
+
+TEST(ExperimentRunner, SaCachePersistenceWarmStart) {
+  const std::string path = ::testing::TempDir() + "/runner_sa_cache";
+  const std::string file = path + ".w" + std::to_string(kWidth);
+  std::remove(file.c_str());
+
+  flow::Job job;
+  job.benchmark = "pr";
+  job.binder.name = "hlpower";
+  job.width = kWidth;
+  job.num_vectors = 5;
+
+  flow::ExperimentRunner cold(1);
+  cold.set_sa_cache_path(path);
+  ASSERT_TRUE(cold.run({job})[0].ok);
+  EXPECT_GT(cold.sa_cache(kWidth).misses(), 0u);
+  // The run persisted the table...
+  SaCache reloaded(kWidth);
+  reloaded.load_file(file);
+  EXPECT_EQ(reloaded.size(), cold.sa_cache(kWidth).size());
+
+  // ...and a fresh runner starts warm: zero SA computations.
+  flow::ExperimentRunner warm(1);
+  warm.set_sa_cache_path(path);
+  ASSERT_TRUE(warm.run({job})[0].ok);
+  EXPECT_EQ(warm.sa_cache(kWidth).misses(), 0u);
+  std::remove(file.c_str());
 }
 
 TEST(Pipeline, RefineStageRunsWhenRequested) {
