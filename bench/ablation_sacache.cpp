@@ -132,6 +132,9 @@ BENCHMARK(BM_SaComputeCold)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   print_sacache_study();
   print_batched_vs_scalar();
+  // Seed coalescing rides the same word engine one level up: whole
+  // Monte-Carlo sweeps of one binding, 64 stimulus seeds per word.
+  hlp::bench::print_seed_sweep(std::cout, {"pr"}, 64);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

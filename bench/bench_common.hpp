@@ -10,6 +10,7 @@
 // SA cache.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -85,5 +86,30 @@ Evaluated to_evaluated(const flow::PipelineOutcome& out);
 
 /// Percent change helper: 100 * (b - a) / a.
 double pct(double a, double b);
+
+/// One coalesced-vs-independent comparison of a Monte-Carlo seed sweep:
+/// `num_seeds` stimulus seeds of one (benchmark, binder) point, run once
+/// through a coalescing runner (seeds ride the 64-lane word-parallel
+/// simulate_batch) and once with coalescing disabled (one full pipeline
+/// per seed). Both runners share the process-wide SA cache; `identical`
+/// confirms the two paths agreed bit for bit on every seed.
+struct SeedSweepReport {
+  std::string benchmark;
+  int num_seeds = 0;
+  double coalesced_s = 0.0;
+  double independent_s = 0.0;
+  bool identical = false;
+  double speedup() const {
+    return coalesced_s > 0.0 ? independent_s / coalesced_s : 0.0;
+  }
+};
+SeedSweepReport seed_sweep(const std::string& name,
+                           const flow::BinderSpec& spec, int num_seeds);
+
+/// Run seed_sweep over `benchmarks` and print the comparison table (the
+/// README's "Seed-parallel experiment batching" numbers).
+void print_seed_sweep(std::ostream& os,
+                      const std::vector<std::string>& benchmarks,
+                      int num_seeds);
 
 }  // namespace hlp::bench

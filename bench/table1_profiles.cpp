@@ -47,6 +47,9 @@ BENCHMARK(BM_GenerateBenchmark)->DenseRange(0, 6);
 
 int main(int argc, char** argv) {
   print_table1();
+  // The ROADMAP's "exploit simulate_batch's multi-run lanes" acceptance
+  // sweep: 64 stimulus seeds of one binding, coalesced vs independent.
+  hlp::bench::print_seed_sweep(std::cout, {"wang", "pr"}, 64);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

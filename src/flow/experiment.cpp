@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <ios>
 #include <sstream>
 #include <thread>
 
@@ -28,7 +29,18 @@ int jobs_from_env(int fallback) {
   return static_cast<int>(v);
 }
 
+bool coalesce_from_env(bool fallback) {
+  const char* env = std::getenv("HLP_COALESCE");
+  if (!env || *env == '\0') return fallback;
+  const std::string v = env;
+  HLP_REQUIRE(v == "0" || v == "1",
+              "HLP_COALESCE='" << v << "' must be 0 or 1");
+  return v == "1";
+}
+
 namespace {
+
+constexpr std::size_t kWordLanes = BitSimulator::kLanes;
 
 std::string context_key(const Job& job) {
   std::ostringstream key;
@@ -36,6 +48,27 @@ std::string context_key(const Job& job) {
       << job.rc.multipliers << '|' << job.width << '|' << job.reg_seed << '|'
       << job.sched_spec.min_latency << '|' << job.sched_spec.latency_slack;
   return key.str();
+}
+
+// Everything a job's pipeline invocation depends on EXCEPT the stimulus
+// seed: jobs with equal group keys can share one run_batch call. Doubles
+// are serialised in hexfloat so distinct knob values never alias.
+std::string group_key(const Job& job) {
+  std::ostringstream key;
+  key << context_key(job) << '|' << job.binder.name << '|' << std::hexfloat
+      << job.binder.alpha << '|' << job.binder.beta_add << '|'
+      << job.binder.beta_mult << '|' << job.binder.refine << '|'
+      << job.num_vectors << '|' << static_cast<int>(job.sim_engine);
+  return key.str();
+}
+
+RunSpec spec_for(const Job& job) {
+  RunSpec spec;
+  spec.binder = job.binder;
+  spec.num_vectors = job.num_vectors;
+  spec.seed = job.seed;
+  spec.sim_engine = job.sim_engine;
+  return spec;
 }
 
 }  // namespace
@@ -47,7 +80,8 @@ ExperimentRunner::ExperimentRunner(int num_threads, GraphProvider provider,
                          : [](const std::string& name) {
                              return make_paper_benchmark(name);
                            }),
-      external_cache_(shared_cache) {
+      external_cache_(shared_cache),
+      coalesce_(coalesce_from_env(true)) {
   if (const char* env = std::getenv("HLP_SA_CACHE"); env && *env != '\0')
     sa_cache_path_ = env;
 }
@@ -105,12 +139,7 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
     res.job = jobs[i];
     const auto t0 = Clock::now();
     try {
-      RunSpec spec;
-      spec.binder = jobs[i].binder;
-      spec.num_vectors = jobs[i].num_vectors;
-      spec.seed = jobs[i].seed;
-      spec.sim_engine = jobs[i].sim_engine;
-      res.outcome = pipeline.run(context_for(jobs[i]), spec);
+      res.outcome = pipeline.run(context_for(jobs[i]), spec_for(jobs[i]));
       res.ok = true;
     } catch (const std::exception& e) {
       res.error = e.what();
@@ -118,10 +147,76 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
     res.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   };
 
+  // Coalesce jobs that differ only in stimulus seed. A unit is one
+  // dispatchable work item: a singleton job, or one word-sized chunk (up
+  // to 64 seeds = one simulator word) of a seed group — chunking lets a
+  // group larger than a word spread across the thread pool while each
+  // chunk still fills its lanes. `logical` records the full group size.
+  struct Unit {
+    std::vector<std::size_t> members;
+    std::size_t logical = 1;
+  };
+  std::vector<Unit> units;
+  if (coalesce_ && jobs.size() > 1) {
+    std::vector<std::vector<std::size_t>> groups;
+    std::map<std::string, std::size_t> group_of_key;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto [it, inserted] =
+          group_of_key.emplace(group_key(jobs[i]), groups.size());
+      if (inserted)
+        groups.push_back({i});
+      else
+        groups[it->second].push_back(i);
+    }
+    for (auto& group : groups)
+      for (std::size_t c0 = 0; c0 < group.size(); c0 += kWordLanes) {
+        Unit unit;
+        unit.logical = group.size();
+        unit.members.assign(
+            group.begin() + c0,
+            group.begin() + std::min(group.size(), c0 + kWordLanes));
+        units.push_back(std::move(unit));
+      }
+  } else {
+    units.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) units.push_back({{i}, 1});
+  }
+
+  auto execute_unit = [&](const Unit& unit) {
+    const std::vector<std::size_t>& members = unit.members;
+    if (unit.logical == 1) {
+      execute(members.front());
+      return;
+    }
+    const auto t0 = Clock::now();
+    for (const std::size_t i : members) {
+      results[i].job = jobs[i];
+      results[i].group_size = unit.logical;
+    }
+    try {
+      std::vector<std::uint64_t> seeds;
+      seeds.reserve(members.size());
+      for (const std::size_t i : members) seeds.push_back(jobs[i].seed);
+      const Job& lead = jobs[members.front()];
+      auto outs = pipeline.run_batch(context_for(lead), spec_for(lead), seeds);
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        results[members[k]].outcome = std::move(outs[k]);
+        results[members[k]].ok = true;
+      }
+    } catch (const std::exception& e) {
+      // The whole chunk shares one pipeline, so its failure is every
+      // member's failure.
+      for (const std::size_t i : members) results[i].error = e.what();
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    for (const std::size_t i : members) results[i].seconds = secs;
+  };
+
   const int workers =
-      std::min<std::size_t>(num_threads_, jobs.size() ? jobs.size() : 1);
+      std::min<std::size_t>(num_threads_, units.size() ? units.size() : 1);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) execute(i);
+    for (const auto& unit : units) execute_unit(unit);
     persist_caches();
     return results;
   }
@@ -130,9 +225,9 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
   pool.reserve(workers);
   for (int t = 0; t < workers; ++t) {
     pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < jobs.size();
-           i = next.fetch_add(1))
-        execute(i);
+      for (std::size_t u = next.fetch_add(1); u < units.size();
+           u = next.fetch_add(1))
+        execute_unit(units[u]);
     });
   }
   for (auto& th : pool) th.join();

@@ -4,10 +4,17 @@
 // Every job runs the standard Pipeline on a FlowContext that is memoised
 // per (benchmark, scheduler, rc, width, reg_seed) — jobs that share a
 // setup share the schedule, register binding and SA cache, computed once.
+// On top of that, jobs that differ ONLY in stimulus seed are coalesced
+// (default on, see set_coalescing) into one Pipeline::run_batch invocation:
+// the head stages run once and the seeds ride the word-parallel simulator
+// 64 per machine word, a Monte-Carlo sweep paying the netlist traversal
+// once per word instead of once per seed.
 // All algorithms in the library are deterministic and the SaCache
 // memoisation is value-deterministic under races, so results are identical
-// for any thread count; only wall-clock changes. Results are returned in
-// job order; per-job failures are captured, not thrown.
+// for any thread count and either coalescing setting; only wall-clock
+// changes. Results are returned in job order; per-job failures are
+// captured, not thrown (a failing coalesced group reports the error on
+// every member job).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,10 @@ namespace hlp::flow {
 /// Worker threads from the HLP_JOBS env var, else `fallback`. Strictly
 /// parsed like vectors_from_env: garbage or non-positive values throw.
 int jobs_from_env(int fallback);
+
+/// Seed-coalescing toggle from the HLP_COALESCE env var, else `fallback`.
+/// Strict like the other env parsers: only "0" and "1" are accepted.
+bool coalesce_from_env(bool fallback);
 
 /// One cell of the experiment grid.
 struct Job {
@@ -56,7 +67,11 @@ struct JobResult {
   bool ok = false;
   /// what() of the exception when !ok.
   std::string error;
+  /// Wall-clock of the pipeline invocation this job rode — the whole
+  /// group's when coalesced (see group_size).
   double seconds = 0.0;
+  /// How many jobs shared this job's pipeline invocation (1 = ran alone).
+  std::size_t group_size = 1;
 };
 
 class ExperimentRunner {
@@ -87,6 +102,13 @@ class ExperimentRunner {
   void set_sa_cache_path(std::string path);
   const std::string& sa_cache_path() const { return sa_cache_path_; }
 
+  /// Coalesce jobs that differ only in stimulus seed into one
+  /// Pipeline::run_batch call (64 seeds per simulator word). On by
+  /// default; the HLP_COALESCE env var sets the constructor default.
+  /// Results are bit-identical either way (tests/experiment_batch_test).
+  void set_coalescing(bool on) { coalesce_ = on; }
+  bool coalescing() const { return coalesce_; }
+
   int num_threads() const { return num_threads_; }
 
   /// Cross product helper: one job per (benchmark, binder, seed, rc), all
@@ -107,6 +129,7 @@ class ExperimentRunner {
   int num_threads_;
   GraphProvider provider_;
   SaCache* external_cache_;
+  bool coalesce_ = true;
   std::string sa_cache_path_;
 
   std::mutex mu_;  // guards the two maps

@@ -1,9 +1,12 @@
 #include "flow/flow_context.hpp"
 
 #include <algorithm>
+#include <ios>
+#include <sstream>
 
 #include "binding/register_binder.hpp"
 #include "common/error.hpp"
+#include "flow/pipeline.hpp"
 #include "sched/list_scheduler.hpp"
 
 namespace hlp::flow {
@@ -21,6 +24,26 @@ FlowContext::FlowContext(Cdfg g, ResourceConstraint rc, ContextOptions opt,
   } else {
     owned_cache_ = std::make_unique<SaCache>(opt_.width);
   }
+  stage_cache_ = std::make_unique<StageCache>();
+}
+
+FlowContext::~FlowContext() = default;
+
+std::string FlowContext::binding_hash(const BinderSpec& binder,
+                                      const MapParams& map,
+                                      const TimingModel& timing) {
+  const ResourceConstraint& resolved = rc();
+  std::ostringstream key;
+  key << std::hexfloat;
+  key << opt_.scheduler << '|' << opt_.sched_spec.min_latency << '|'
+      << opt_.sched_spec.latency_slack << '|' << resolved.adders << 'x'
+      << resolved.multipliers << '|' << opt_.width << '|' << opt_.reg_seed
+      << '|' << binder.name << '|' << binder.alpha << '|' << binder.beta_add
+      << '|' << binder.beta_mult << '|' << binder.refine << '|' << map.cuts.k
+      << '|' << map.cuts.max_cuts << '|' << static_cast<int>(map.mode) << '|'
+      << timing.lut_delay_ns << '|' << timing.net_delay_ns << '|'
+      << timing.reg_overhead_ns;
+  return key.str();
 }
 
 void FlowContext::ensure_scheduled_locked() {

@@ -23,10 +23,14 @@
 #include "binding/binding.hpp"
 #include "cdfg/cdfg.hpp"
 #include "flow/registry.hpp"
+#include "mapper/techmap.hpp"
+#include "netlist/timing.hpp"
 #include "power/sa_cache.hpp"
 #include "sched/schedule.hpp"
 
 namespace hlp::flow {
+
+class StageCache;  // pipeline.hpp — per-binding artifact cache
 
 struct ContextOptions {
   /// Scheduler registry key ("list", "fds", ...).
@@ -46,6 +50,7 @@ class FlowContext {
   /// means the context owns a private cache.
   FlowContext(Cdfg g, ResourceConstraint rc, ContextOptions opt = {},
               SaCache* shared_cache = nullptr);
+  ~FlowContext();  // out of line: StageCache is incomplete here
 
   const Cdfg& cdfg() const { return g_; }
   const ContextOptions& options() const { return opt_; }
@@ -67,6 +72,20 @@ class FlowContext {
     return shared_cache_ ? *shared_cache_ : *owned_cache_;
   }
 
+  /// Context-owned cache of the per-binding pipeline artifacts (bind-fus
+  /// through time), keyed by binding_hash(). The pipeline consults it so a
+  /// sweep that revisits a binding skips straight to simulate.
+  StageCache& stage_cache() { return *stage_cache_; }
+
+  /// Exact cache key for the artifacts a (binder, mapping, timing) triple
+  /// produces on this context. Not a lossy digest: the key serialises
+  /// every field the bind-fus..time stages read — the context's
+  /// scheduler/spec, resolved rc, width and reg_seed plus the binder
+  /// knobs (doubles in hexfloat), map parameters and timing model — so
+  /// distinct configurations can never collide.
+  std::string binding_hash(const BinderSpec& binder, const MapParams& map,
+                           const TimingModel& timing);
+
  private:
   void ensure_scheduled_locked();
   void ensure_regs_locked();
@@ -76,6 +95,7 @@ class FlowContext {
   ContextOptions opt_;
   SaCache* shared_cache_ = nullptr;
   std::unique_ptr<SaCache> owned_cache_;
+  std::unique_ptr<StageCache> stage_cache_;
 
   std::mutex mu_;  // guards the lazy artifacts below
   bool scheduled_ = false;

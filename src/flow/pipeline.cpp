@@ -16,6 +16,34 @@ double PipelineOutcome::stage_seconds(const std::string& name) const {
   return 0.0;
 }
 
+std::shared_ptr<const StageCache::Entry> StageCache::find(
+    const std::string& key) {
+  std::shared_ptr<const Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) entry = it->second;
+  }
+  ++(entry ? hits_ : misses_);
+  return entry;
+}
+
+void StageCache::insert(const std::string& key, Entry entry) {
+  auto holder = std::make_shared<const Entry>(std::move(entry));
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(key, std::move(holder));
+}
+
+std::size_t StageCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void StageCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 namespace {
 
 void stage_schedule(PipelineState& st) { st.schedule = st.ctx.schedule(); }
@@ -64,6 +92,126 @@ void stage_simulate(PipelineState& st) {
                                     st.spec.sim_engine);
 }
 
+// The span of stages whose artifacts a StageCache entry carries. Stages
+// before it are memoised on the context already; stages after it depend on
+// the stimulus seed.
+bool is_cached_stage(const std::string& name) {
+  return name == "bind-fus" || name == "refine" || name == "elaborate" ||
+         name == "map" || name == "time";
+}
+
+// Install one stage's slice of a cache entry instead of running the stage.
+void apply_cached(PipelineState& st, const std::string& name,
+                  const StageCache::Entry& e) {
+  if (name == "bind-fus") {
+    st.out.fus = e.fus;
+  } else if (name == "refine") {
+    st.out.refine = e.refine;
+    st.out.refined = e.refined;
+  } else if (name == "elaborate") {
+    st.datapath = e.datapath;
+    st.out.flow.mux_stats = e.mux_stats;
+  } else if (name == "map") {
+    st.out.flow.mapped = e.mapped;
+  } else if (name == "time") {
+    st.out.flow.clock_period_ns = e.clock_period_ns;
+  }
+}
+
+// Snapshot the bind-fus..time artifacts once the `time` stage has run.
+StageCache::Entry capture_entry(const PipelineState& st) {
+  StageCache::Entry e;
+  e.fus = st.out.fus;
+  e.refine = st.out.refine;
+  e.refined = st.out.refined;
+  e.mux_stats = st.out.flow.mux_stats;
+  e.datapath = st.datapath;
+  e.mapped = st.out.flow.mapped;
+  e.clock_period_ns = st.out.flow.clock_period_ns;
+  return e;
+}
+
+// Word-parallel datapath simulation of up to 64 stimulus seeds (one lane
+// each) against one netlist, staging stimulus directly as words instead of
+// materialising per-seed char frames: control inputs are identical across
+// lanes (staged 0/~0), and a sample's data bits are constant across its
+// phases (gathered once per sample; re-staging an unchanged word is a
+// no-op, so this is bit-identical to driving make_frames' rows).
+std::vector<CycleSimStats> simulate_seed_chunk(
+    const Netlist& n, const Datapath& dp,
+    const std::vector<std::vector<std::vector<std::uint64_t>>>& lane_samples) {
+  const int lanes = static_cast<int>(lane_samples.size());
+  HLP_REQUIRE(lanes >= 1 && lanes <= BitSimulator::kLanes,
+              "seed chunk must fit one simulator word");
+  const std::uint64_t active =
+      lanes == BitSimulator::kLanes ? ~0ull : (1ull << lanes) - 1;
+  const int num_nets = n.num_nets();
+  const auto& pis = n.inputs();
+  const auto& latches = n.latches();
+  const std::size_t num_samples = lane_samples.front().size();
+  const std::size_t num_inputs = dp.data_input_pos.size();
+
+  BitSimulator sim(n);
+  // Reset to the all-zero-source settled state in every lane.
+  for (NetId pi : pis) sim.stage_source(pi, 0);
+  for (const auto& l : latches) sim.stage_source(l.q, 0);
+  sim.settle_zero_delay();
+
+  LaneCounters toggles(num_nets);
+  LaneCounters fn(1);
+  std::vector<NetId> touched;
+  touched.reserve(num_nets);
+  std::vector<char> touched_flag(num_nets, 0);
+  std::vector<std::uint64_t> before(num_nets);
+  std::vector<std::uint64_t> data_words(num_inputs * dp.width);
+
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    // Gather this sample's data input words, lane-major.
+    std::fill(data_words.begin(), data_words.end(), 0);
+    for (int l = 0; l < lanes; ++l) {
+      const auto& sample = lane_samples[l][s];
+      for (std::size_t p = 0; p < num_inputs; ++p) {
+        const std::uint64_t word = sample[p];
+        for (int j = 0; j < dp.width; ++j)
+          data_words[p * dp.width + j] |= ((word >> j) & 1u) << l;
+      }
+    }
+    for (int ph = 0; ph < dp.num_phases; ++ph) {
+      for (std::size_t p = 0; p < num_inputs; ++p)
+        for (int j = 0; j < dp.width; ++j)
+          sim.stage_source(pis[dp.data_input_pos[p] + j],
+                           data_words[p * dp.width + j]);
+      for (const auto& cg : dp.controls) {
+        const int sel = cg.select_by_phase[ph];
+        for (std::size_t k = 0; k < cg.input_positions.size(); ++k)
+          sim.stage_source(pis[cg.input_positions[k]],
+                           ((sel >> k) & 1) ? active : 0);
+      }
+      for (const auto& l : latches)
+        sim.stage_source(
+            l.q, (sim.word(l.d) & active) | (sim.word(l.q) & ~active));
+      sim.settle_batch(toggles, touched, touched_flag, before);
+      for (const NetId net : touched) {
+        touched_flag[net] = 0;
+        fn.add(0, before[net] ^ sim.word(net));
+      }
+      touched.clear();
+    }
+  }
+
+  std::vector<CycleSimStats> results(lanes);
+  for (int l = 0; l < lanes; ++l) {
+    CycleSimStats& st = results[l];
+    st.num_cycles = num_samples * dp.num_phases;
+    st.toggles.resize(num_nets);
+    for (NetId net = 0; net < num_nets; ++net)
+      st.toggles[net] = toggles.count(net, l);
+    st.functional_transitions = fn.count(0, l);
+    for (auto v : st.toggles) st.total_transitions += v;
+  }
+  return results;
+}
+
 void stage_power(PipelineState& st) {
   const auto& sim = st.out.flow.sim;
   const double functional_per_cycle =
@@ -98,25 +246,135 @@ Pipeline& Pipeline::replace(const std::string& name, StageFn fn) {
   for (auto& stage : stages_) {
     if (stage.name == name) {
       stage.fn = std::move(fn);
+      // A custom stage body up to `time` invalidates StageCache reuse: the
+      // binding hash only sees the spec, not the override.
+      if (name != "simulate" && name != "power") cache_safe_ = false;
       return *this;
     }
   }
   HLP_REQUIRE(false, "pipeline has no stage named '" << name << "'");
 }
 
-PipelineOutcome Pipeline::run(FlowContext& ctx, const RunSpec& spec) const {
+Pipeline::CacheCursor Pipeline::make_cursor(FlowContext& ctx,
+                                            const RunSpec& spec) const {
+  CacheCursor cursor;
+  cursor.enabled = cache_safe_ && spec.use_stage_cache;
+  if (cursor.enabled)
+    cursor.key = ctx.binding_hash(spec.binder, spec.map, spec.timing);
+  return cursor;
+}
+
+void Pipeline::run_stage(PipelineState& st, const Stage& stage,
+                         CacheCursor& cursor) const {
   using Clock = std::chrono::steady_clock;
+  const bool cacheable = cursor.enabled && is_cached_stage(stage.name);
+  if (cacheable && !cursor.probed) {
+    cursor.probed = true;  // one hit/miss per run, probed at bind-fus
+    cursor.hit = st.ctx.stage_cache().find(cursor.key);
+  }
+  const auto t0 = Clock::now();
+  if (cacheable && cursor.hit) {
+    apply_cached(st, stage.name, *cursor.hit);
+    st.out.cached_stages.push_back(stage.name);
+  } else {
+    stage.fn(st);
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  st.out.timings.push_back({stage.name, secs});
+  if (stage.name == "bind-fus" || stage.name == "refine")
+    st.out.bind_seconds += secs;
+  if (cursor.enabled && !cursor.hit && stage.name == "time")
+    st.ctx.stage_cache().insert(cursor.key, capture_entry(st));
+}
+
+PipelineOutcome Pipeline::run(FlowContext& ctx, const RunSpec& spec) const {
   PipelineState st(ctx, spec);
   st.out.timings.reserve(stages_.size());
-  for (const auto& stage : stages_) {
-    const auto t0 = Clock::now();
-    stage.fn(st);
-    const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
-    st.out.timings.push_back({stage.name, secs});
-    if (stage.name == "bind-fus" || stage.name == "refine")
-      st.out.bind_seconds += secs;
-  }
+  CacheCursor cursor = make_cursor(ctx, spec);
+  for (const auto& stage : stages_) run_stage(st, stage, cursor);
   return std::move(st.out);
+}
+
+std::vector<PipelineOutcome> Pipeline::run_batch(
+    FlowContext& ctx, const RunSpec& spec,
+    const std::vector<std::uint64_t>& seeds) const {
+  using Clock = std::chrono::steady_clock;
+  std::vector<PipelineOutcome> outs;
+  if (seeds.empty()) return outs;
+
+  PipelineState st(ctx, spec);
+  st.out.timings.reserve(stages_.size());
+  CacheCursor cursor = make_cursor(ctx, spec);
+
+  // Shared head: every stage before `simulate` runs once for the whole
+  // seed group (overrides and the stage cache both apply).
+  bool found_simulate = false;
+  std::size_t tail_begin = stages_.size();
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (stages_[s].name == "simulate") {
+      found_simulate = true;
+      tail_begin = s + 1;
+      break;
+    }
+    run_stage(st, stages_[s], cursor);
+  }
+  HLP_REQUIRE(found_simulate, "run_batch needs a `simulate` stage");
+
+  // Word-parallel simulate: the same stimulus run() would generate per
+  // seed, packed 64 seeds per word (chunked so stimulus memory stays
+  // bounded at one lane group). The batched engine stages sample words
+  // directly (simulate_seed_chunk); the scalar oracle goes through the
+  // char-frame path per seed. One `simulate` timing entry covers the
+  // batch.
+  const auto t0 = Clock::now();
+  std::vector<CycleSimStats> sims(seeds.size());
+  for (std::size_t g0 = 0; g0 < seeds.size(); g0 += BitSimulator::kLanes) {
+    const std::size_t count =
+        std::min<std::size_t>(BitSimulator::kLanes, seeds.size() - g0);
+    std::vector<CycleSimStats> chunk;
+    if (spec.sim_engine == SimEngine::kBatched) {
+      std::vector<std::vector<std::vector<std::uint64_t>>> lane_samples(
+          count);
+      for (std::size_t i = 0; i < count; ++i)
+        lane_samples[i] =
+            random_samples(spec.num_vectors, ctx.cdfg().num_inputs(),
+                           ctx.width(), seeds[g0 + i]);
+      chunk = simulate_seed_chunk(st.out.flow.mapped.lut_netlist, st.datapath,
+                                  lane_samples);
+    } else {
+      std::vector<std::vector<std::vector<char>>> runs(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto samples =
+            random_samples(spec.num_vectors, ctx.cdfg().num_inputs(),
+                           ctx.width(), seeds[g0 + i]);
+        runs[i] = make_frames(st.datapath, samples);
+      }
+      chunk =
+          simulate_runs(st.out.flow.mapped.lut_netlist, runs, spec.sim_engine);
+    }
+    for (std::size_t i = 0; i < count; ++i) sims[g0 + i] = std::move(chunk[i]);
+  }
+  st.out.timings.push_back(
+      {"simulate",
+       std::chrono::duration<double>(Clock::now() - t0).count()});
+
+  // Per-seed tail: install each seed's sim stats and run the remaining
+  // stages (power, plus any custom additions) on a per-seed copy.
+  const std::vector<StageTiming> shared_timings = st.out.timings;
+  outs.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    st.out.flow.sim = std::move(sims[i]);
+    st.out.timings = shared_timings;
+    for (std::size_t s = tail_begin; s < stages_.size(); ++s) {
+      const auto t1 = Clock::now();
+      stages_[s].fn(st);
+      st.out.timings.push_back(
+          {stages_[s].name,
+           std::chrono::duration<double>(Clock::now() - t1).count()});
+    }
+    outs.push_back(st.out);
+  }
+  return outs;
 }
 
 }  // namespace hlp::flow

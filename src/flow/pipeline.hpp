@@ -11,10 +11,22 @@
 // perform exactly the computations of `run_flow` with the same seeds, so
 // for a fixed seed the pipeline reproduces `run_flow`'s numbers bit for
 // bit (asserted by tests/flow_test.cpp).
+//
+// Two amortisation layers ride on top, both result-preserving:
+//  - StageCache: the bind-fus..time artifacts are memoised per context
+//    under FlowContext::binding_hash(), so re-running a binding skips
+//    straight to simulate (tests/pipeline_cache_test.cpp).
+//  - run_batch: many stimulus seeds of one RunSpec share a single head
+//    pass, then ride simulate_runs' 64-seeds-per-word lanes
+//    (tests/experiment_batch_test.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +54,47 @@ struct RunSpec {
   /// bit-parallel batch engine is the default; the scalar event simulator
   /// is kept as the reference oracle (results are bit-identical).
   SimEngine sim_engine = SimEngine::kBatched;
+  /// Consult the context's StageCache for the bind-fus..time artifacts
+  /// (hits skip those stages; results are identical either way). Ignored —
+  /// always off — on a pipeline whose pre-simulate stages were replace()d,
+  /// since the cache key cannot see a custom stage body.
+  bool use_stage_cache = true;
+};
+
+/// Memoised per-binding artifacts of the pipeline's bind-fus -> refine ->
+/// elaborate -> map -> time span, keyed by FlowContext::binding_hash().
+/// One cache per FlowContext (the key does not encode the CDFG), so a
+/// design-space sweep that revisits a binding on its context skips from
+/// bind-fus straight to simulate. Thread-safe; concurrent misses on one
+/// key both compute (value-identical by determinism) and the first insert
+/// wins.
+class StageCache {
+ public:
+  struct Entry {
+    FuBinding fus;  // post-refine when `refined`
+    PortRefineResult refine;
+    bool refined = false;
+    DatapathStats mux_stats;
+    Datapath datapath;
+    MapResult mapped;
+    double clock_period_ns = 0.0;
+  };
+
+  /// The published entry for `key`, or null. Counts one hit or miss.
+  std::shared_ptr<const Entry> find(const std::string& key);
+  /// Publish the artifacts for `key` (first writer wins).
+  void insert(const std::string& key, Entry entry);
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Entry>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 struct StageTiming {
@@ -57,8 +110,13 @@ struct PipelineOutcome {
   /// Valid iff `refined` (the refine stage ran).
   PortRefineResult refine;
   bool refined = false;
-  /// Wall-clock of every stage, in pipeline order.
+  /// Wall-clock of every stage, in pipeline order. A batched run records
+  /// the whole word-parallel batch under `simulate`.
   std::vector<StageTiming> timings;
+  /// Names of the stages whose artifacts came from the context's
+  /// StageCache instead of being recomputed (empty on a cache miss or
+  /// when caching is off).
+  std::vector<std::string> cached_stages;
   /// Seconds spent in the `bind-fus` stage (+ `refine` when it ran) — the
   /// "HLPower runtime" column of Table 2.
   double bind_seconds = 0.0;
@@ -100,10 +158,38 @@ class Pipeline {
   /// Run every stage in order, timing each.
   PipelineOutcome run(FlowContext& ctx, const RunSpec& spec = {}) const;
 
+  /// Seed-batched run: the word-parallel fast path behind ExperimentRunner
+  /// job coalescing. The stages before `simulate` run ONCE (stage-cache
+  /// aware, custom overrides honoured), then the built-in simulate stage
+  /// evaluates every seed in `seeds` through simulate_runs — up to 64
+  /// stimulus seeds per machine word — and the post-simulate stages run
+  /// per seed. Outcome i is bit-identical to run() with spec.seed =
+  /// seeds[i]; spec.seed itself is ignored. A replace()d `simulate` stage
+  /// is NOT honoured here (the batch path owns stimulus generation).
+  std::vector<PipelineOutcome> run_batch(
+      FlowContext& ctx, const RunSpec& spec,
+      const std::vector<std::uint64_t>& seeds) const;
+
   const std::vector<Stage>& stages() const { return stages_; }
 
  private:
+  /// Per-run cursor over the context's StageCache.
+  struct CacheCursor {
+    bool enabled = false;
+    bool probed = false;
+    std::string key;
+    std::shared_ptr<const StageCache::Entry> hit;
+  };
+
+  CacheCursor make_cursor(FlowContext& ctx, const RunSpec& spec) const;
+  /// Run (or satisfy from cache) one stage, recording its timing.
+  void run_stage(PipelineState& st, const Stage& stage,
+                 CacheCursor& cursor) const;
+
   std::vector<Stage> stages_;
+  /// False once a pre-simulate stage was replace()d: the StageCache key
+  /// cannot encode a custom stage body, so caching would be unsound.
+  bool cache_safe_ = true;
 };
 
 }  // namespace hlp::flow

@@ -7,25 +7,132 @@
 
 namespace hlp {
 
+namespace {
+
+std::uint64_t tt_mask(int k) {
+  const std::uint32_t rows = 1u << k;
+  return rows >= 64 ? ~0ull : (1ull << rows) - 1;
+}
+
+std::uint64_t parity_tt(int k) {
+  std::uint64_t par = 0;
+  for (std::uint32_t m = 0; m < (1u << k); ++m)
+    if (std::popcount(m) & 1) par |= 1ull << m;
+  return par;
+}
+
+// Drop inputs the function does not depend on, compressing the truth
+// table. Evaluation over the reduced support is value-identical.
+void reduce_support(std::uint64_t& bits, std::vector<NetId>& ins) {
+  for (int j = static_cast<int>(ins.size()) - 1; j >= 0; --j) {
+    const std::uint32_t rows = 1u << ins.size();
+    bool depends = false;
+    for (std::uint32_t m = 0; m < rows && !depends; ++m)
+      if (!(m & (1u << j)) &&
+          (((bits >> m) & 1) != ((bits >> (m | (1u << j))) & 1)))
+        depends = true;
+    if (depends) continue;
+    std::uint64_t reduced = 0;
+    std::uint32_t out_row = 0;
+    for (std::uint32_t m = 0; m < rows; ++m)
+      if (!(m & (1u << j))) reduced |= ((bits >> m) & 1) << out_row++;
+    bits = reduced;
+    ins.erase(ins.begin() + j);
+  }
+}
+
+// The truth table of `sel ? a : b` over 3 inputs at positions (s, a, b).
+std::uint64_t mux_tt(int s, int a, int b) {
+  std::uint64_t bits = 0;
+  for (std::uint32_t m = 0; m < 8; ++m)
+    if (((m >> s) & 1) ? ((m >> a) & 1) : ((m >> b) & 1)) bits |= 1ull << m;
+  return bits;
+}
+
+constexpr std::uint64_t kMaj3Tt = 0xE8;  // rows with >= 2 bits set
+
+}  // namespace
+
 BitSimulator::BitSimulator(const Netlist& n) : netlist_(&n) {
   n.validate();
   const int num_nets = n.num_nets();
   const int num_gates = n.num_gates();
 
   tt_bits_.resize(num_gates);
-  tt_ins_.resize(num_gates);
-  gate_out_.resize(num_gates);
+  gates_.resize(num_gates);
   in_start_.resize(num_gates + 1, 0);
+
+  std::vector<std::vector<NetId>> eval_ins(num_gates);
   for (int gi = 0; gi < num_gates; ++gi) {
     const Gate& g = n.gates()[gi];
-    tt_bits_[gi] = g.tt.bits();
-    tt_ins_[gi] = static_cast<int>(g.ins.size());
-    gate_out_[gi] = g.out;
-    in_start_[gi + 1] = in_start_[gi] + static_cast<int>(g.ins.size());
+    PackedGate& pg = gates_[gi];
+    pg.out = g.out;
+    std::uint64_t bits = g.tt.bits() & tt_mask(static_cast<int>(g.ins.size()));
+    std::vector<NetId> ins = g.ins;
+    reduce_support(bits, ins);
+    const int k = static_cast<int>(ins.size());
+    const std::uint64_t mask = tt_mask(k);
+    pg.k = static_cast<std::uint8_t>(k);
+    if (k <= 4) {
+      pg.tt = static_cast<std::uint32_t>(bits);
+      for (int j = 0; j < k; ++j) pg.in[j] = ins[j];
+    } else {
+      // Wider functions evaluate through the CSR input list; the packed
+      // operand slots (and so every specialised op) cannot hold them.
+      pg.op = kOpShannonBig;
+    }
+
+    // Classify into a specialised evaluator; kOpShannon remains for the
+    // (rare) functions that match no pattern.
+    if (k > 4) {
+      // kOpShannonBig, set above.
+    } else if (k == 0) {
+      pg.op = kOpConst;
+      pg.inv = static_cast<std::uint8_t>(bits & 1);
+    } else if (k == 1) {
+      pg.op = kOpBuf;
+      pg.inv = (bits == 1);  // tt 01b = ~x, 10b = x
+    } else if (bits == parity_tt(k) || bits == (parity_tt(k) ^ mask)) {
+      pg.op = kOpParity;
+      pg.inv = (bits != parity_tt(k));
+    } else if (std::popcount(bits) == 1 ||
+               std::popcount(bits ^ mask) == 1) {
+      // A single on-row r is AND_j (r_j ? x_j : ~x_j); a single off-row
+      // is its De Morgan dual (invert the conjunction).
+      pg.op = kOpAndPol;
+      pg.inv = (std::popcount(bits) != 1);
+      const int row = std::countr_zero(pg.inv ? bits ^ mask : bits);
+      pg.pol = static_cast<std::uint8_t>(~row & ((1u << k) - 1));
+    } else if (k == 3) {
+      for (int s = 0; s < 3 && pg.op == kOpShannon; ++s) {
+        const int a = (s + 1) % 3, b = (s + 2) % 3;
+        const std::pair<int, int> orders[] = {{a, b}, {b, a}};
+        for (const auto& [hi, lo] : orders) {
+          const std::uint64_t want = mux_tt(s, hi, lo);
+          if (bits == want || bits == (want ^ mask)) {
+            pg.op = kOpMux;
+            pg.inv = (bits != want);
+            pg.in[0] = ins[s];
+            pg.in[1] = ins[hi];
+            pg.in[2] = ins[lo];
+            break;
+          }
+        }
+      }
+      if (pg.op == kOpShannon &&
+          (bits == kMaj3Tt || bits == (kMaj3Tt ^ mask))) {
+        pg.op = kOpMaj;
+        pg.inv = (bits != kMaj3Tt);
+      }
+    }
+
+    tt_bits_[gi] = bits;
+    eval_ins[gi] = std::move(ins);
+    in_start_[gi + 1] = in_start_[gi] + k;
   }
   in_nets_.reserve(in_start_[num_gates]);
   for (int gi = 0; gi < num_gates; ++gi)
-    for (NetId in : n.gates()[gi].ins) in_nets_.push_back(in);
+    for (NetId in : eval_ins[gi]) in_nets_.push_back(in);
 
   // Fanout CSR, deduped the same way as the scalar simulator (a gate
   // reading the same net twice re-evaluates once).
@@ -62,11 +169,59 @@ void BitSimulator::stage_source(NetId n, std::uint64_t word) {
 }
 
 std::uint64_t BitSimulator::eval_gate(int gi) const {
-  const int k = tt_ins_[gi];
-  if (k == 0) return (tt_bits_[gi] & 1u) ? ~0ull : 0ull;
-  // Shannon cofactor reduction: start from the 2^k constant rows of the
-  // truth table and fold one input per level; ~3*(2^k - 1) word ops cover
-  // all 64 lanes.
+  const PackedGate& g = gates_[gi];
+  // Datapaths are register files plus steering logic, so muxes dominate
+  // every mapped netlist we simulate (~80-90% of gates): give them a
+  // predicted direct branch instead of the switch's indirect jump.
+  if (g.op == kOpMux) {
+    const std::uint64_t s = value_[g.in[0]];
+    const std::uint64_t w = (value_[g.in[1]] & s) | (value_[g.in[2]] & ~s);
+    return g.inv ? ~w : w;
+  }
+  const std::uint64_t inv = g.inv ? ~0ull : 0ull;
+  switch (g.op) {
+    case kOpConst:
+      return inv;
+    case kOpBuf:
+      return value_[g.in[0]] ^ inv;
+    case kOpMaj: {
+      const std::uint64_t a = value_[g.in[0]], b = value_[g.in[1]],
+                          c = value_[g.in[2]];
+      return ((a & b) | ((a | b) & c)) ^ inv;
+    }
+    case kOpParity: {
+      std::uint64_t w = inv;
+      for (int j = 0; j < g.k; ++j) w ^= value_[g.in[j]];
+      return w;
+    }
+    case kOpAndPol: {
+      std::uint64_t w = ~0ull;
+      for (int j = 0; j < g.k; ++j)
+        w &= value_[g.in[j]] ^
+             (0 - static_cast<std::uint64_t>((g.pol >> j) & 1));
+      return w ^ inv;
+    }
+    case kOpShannon: {
+      // Shannon cofactor reduction of the reduced truth table, k <= 4:
+      // fold one input per level over the 2^k constant rows.
+      const int k = g.k;
+      std::uint64_t cof[16];
+      const std::uint32_t rows = 1u << k;
+      for (std::uint32_t m = 0; m < rows; ++m)
+        cof[m] = (g.tt >> m) & 1u ? ~0ull : 0ull;
+      for (int j = k - 1; j >= 0; --j) {
+        const std::uint64_t x = value_[g.in[j]];
+        const std::uint32_t half = 1u << j;
+        for (std::uint32_t i = 0; i < half; ++i)
+          cof[i] = (cof[i] & ~x) | (cof[i + half] & x);
+      }
+      return cof[0];
+    }
+    default:
+      break;
+  }
+  // k > 4 fallback: same fold over the CSR input list.
+  const int k = g.k;
   std::uint64_t cof[64];
   const std::uint64_t bits = tt_bits_[gi];
   const std::uint32_t rows = 1u << k;
@@ -89,7 +244,7 @@ void BitSimulator::settle_zero_delay() {
     staged_dirty_[net] = 0;
     value_[net] = staged_[net];
   }
-  for (int gi : topo_) value_[gate_out_[gi]] = eval_gate(gi);
+  for (int gi : topo_) value_[gates_[gi].out] = eval_gate(gi);
 }
 
 template <typename OnChange>
@@ -108,7 +263,7 @@ int BitSimulator::settle_events(OnChange&& on_change) {
   }
 
   int steps = 0;
-  const int max_steps = 4 * static_cast<int>(gate_out_.size()) + 8;
+  const int max_steps = 4 * static_cast<int>(gates_.size()) + 8;
   while (!changed_.empty()) {
     ++steps;
     HLP_CHECK(steps <= max_steps,
@@ -131,7 +286,7 @@ int BitSimulator::settle_events(OnChange&& on_change) {
     for (std::size_t i = 0; i < dirty_gates_.size(); ++i) {
       const int gi = dirty_gates_[i];
       gate_queued_[gi] = 0;
-      const NetId out = gate_out_[gi];
+      const NetId out = gates_[gi].out;
       const std::uint64_t diff = value_[out] ^ new_words_[i];
       if (diff) {
         value_[out] = new_words_[i];
@@ -163,6 +318,22 @@ int BitSimulator::settle(std::vector<std::uint64_t>* toggles_total,
     });
   }
   return settle_events([](NetId, std::uint64_t) {});
+}
+
+int BitSimulator::settle_batch(LaneCounters& toggles,
+                               std::vector<NetId>& touched,
+                               std::vector<char>& touched_flag,
+                               std::vector<std::uint64_t>& before) {
+  return settle_events([&](NetId net, std::uint64_t diff) {
+    toggles.add(net, diff);
+    if (!touched_flag[net]) {
+      touched_flag[net] = 1;
+      // value_[net] was already updated; undo the diff for the pre-settle
+      // word (the first event sees the pre-edge settled value).
+      before[net] = value_[net] ^ diff;
+      touched.push_back(net);
+    }
+  });
 }
 
 namespace {
@@ -330,6 +501,15 @@ std::vector<CycleSimStats> simulate_batch(
   const auto& pis = n.inputs();
   const auto& latches = n.latches();
 
+  // Per-group scratch: bit-sliced counters keep every piece of per-lane
+  // accounting word-parallel — no loop in this function scales with the
+  // number of lanes that toggled.
+  std::vector<std::uint64_t> pi_bits(pis.size());
+  std::vector<NetId> touched;
+  std::vector<char> touched_flag(num_nets, 0);
+  std::vector<std::uint64_t> before(num_nets);
+  touched.reserve(num_nets);
+
   for (std::size_t g0 = 0; g0 < runs.size(); g0 += BitSimulator::kLanes) {
     const int lanes = static_cast<int>(
         std::min<std::size_t>(BitSimulator::kLanes, runs.size() - g0));
@@ -341,48 +521,62 @@ std::vector<CycleSimStats> simulate_batch(
     std::size_t t_max = 0;
     for (int l = 0; l < lanes; ++l)
       t_max = std::max(t_max, runs[g0 + l].size());
-    std::vector<std::vector<std::uint64_t>> lane_toggles(
-        lanes, std::vector<std::uint64_t>(num_nets, 0));
-    std::vector<std::uint64_t> fn(lanes, 0);
-    std::vector<std::uint64_t> before(num_nets);
+    LaneCounters toggles(num_nets);
+    LaneCounters fn(1);
 
     for (std::size_t t = 0; t < t_max; ++t) {
       std::uint64_t active = 0;
       for (int l = 0; l < lanes; ++l)
         if (t < runs[g0 + l].size()) active |= 1ull << l;
-      std::copy(sim.state().begin(), sim.state().end(), before.begin());
       // Stage everything from the pre-edge state before applying anything:
       // primary inputs for active lanes (finished lanes are frozen by
       // re-staging their current value), then the clock edge Q <- D.
-      for (std::size_t j = 0; j < pis.size(); ++j) {
-        std::uint64_t bits = 0;
-        for (int l = 0; l < lanes; ++l)
-          if ((active >> l) & 1 && runs[g0 + l][t][j]) bits |= 1ull << l;
-        sim.stage_source(pis[j],
-                         (sim.word(pis[j]) & ~active) | (bits & active));
+      // Lane-major gather: each lane's frame row is contiguous.
+      std::fill(pi_bits.begin(), pi_bits.end(), 0);
+      for (int l = 0; l < lanes; ++l) {
+        if (t >= runs[g0 + l].size()) continue;
+        const char* row = runs[g0 + l][t].data();
+        // Branchless: frame bits are random, so a conditional OR would
+        // mispredict half the time.
+        for (std::size_t j = 0; j < pis.size(); ++j)
+          pi_bits[j] |= static_cast<std::uint64_t>(row[j] & 1) << l;
       }
+      for (std::size_t j = 0; j < pis.size(); ++j)
+        sim.stage_source(pis[j],
+                         (sim.word(pis[j]) & ~active) | (pi_bits[j] & active));
       for (const auto& l : latches)
         sim.stage_source(
             l.q, (sim.word(l.d) & active) | (sim.word(l.q) & ~active));
-      sim.settle(nullptr, &lane_toggles);
-      for (NetId net = 0; net < num_nets; ++net) {
-        std::uint64_t diff = before[net] ^ sim.word(net);
-        while (diff) {
-          const int lane = std::countr_zero(diff);
-          diff &= diff - 1;
-          ++fn[lane];
-        }
+      sim.settle_batch(toggles, touched, touched_flag, before);
+      // Functional = settled value changed across the cycle; only nets
+      // that saw an event this cycle can have changed.
+      for (const NetId net : touched) {
+        touched_flag[net] = 0;
+        fn.add(0, before[net] ^ sim.word(net));
       }
+      touched.clear();
     }
 
     for (int l = 0; l < lanes; ++l) {
       CycleSimStats& st = results[g0 + l];
       st.num_cycles = runs[g0 + l].size();
-      st.toggles = std::move(lane_toggles[l]);
-      st.functional_transitions = fn[l];
+      st.toggles.resize(num_nets);
+      for (NetId net = 0; net < num_nets; ++net)
+        st.toggles[net] = toggles.count(net, l);
+      st.functional_transitions = fn.count(0, l);
       for (auto v : st.toggles) st.total_transitions += v;
     }
   }
+  return results;
+}
+
+std::vector<CycleSimStats> simulate_runs(
+    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
+    SimEngine engine) {
+  if (engine == SimEngine::kBatched) return simulate_batch(n, runs);
+  std::vector<CycleSimStats> results;
+  results.reserve(runs.size());
+  for (const auto& run : runs) results.push_back(simulate_frames(n, run));
   return results;
 }
 

@@ -31,6 +31,7 @@
 // single-run path.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,42 @@ namespace hlp {
 /// Which engine the flow pipeline / experiment runner evaluates stimulus
 /// with. The scalar path is kept as the reference oracle.
 enum class SimEngine { kScalar, kBatched };
+
+/// Bit-sliced per-lane counters: plane p carries bit p of 64 independent
+/// counts, so `counts[item][lane] += (mask >> lane) & 1` for all 64 lanes
+/// is a short ripple-carry of word ops (amortised ~2 per add) instead of a
+/// per-set-bit scalar scatter. This is what keeps simulate_batch's
+/// per-run toggle accounting word-parallel: the increment cost no longer
+/// scales with the number of lanes that toggled. 32 planes bound each
+/// count at 2^32-1, far beyond any feasible run length.
+class LaneCounters {
+ public:
+  static constexpr int kPlanes = 32;
+
+  explicit LaneCounters(int num_items)
+      : bits_(static_cast<std::size_t>(num_items) * kPlanes, 0) {}
+
+  /// counts[item][lane] += (mask >> lane) & 1, all lanes at once.
+  void add(int item, std::uint64_t mask) {
+    std::uint64_t* p = &bits_[static_cast<std::size_t>(item) * kPlanes];
+    for (int i = 0; i < kPlanes && mask; ++i) {
+      const std::uint64_t old = p[i];
+      p[i] ^= mask;
+      mask &= old;  // carry into the next plane
+    }
+  }
+
+  std::uint64_t count(int item, int lane) const {
+    const std::uint64_t* p = &bits_[static_cast<std::size_t>(item) * kPlanes];
+    std::uint64_t total = 0;
+    for (int i = 0; i < kPlanes; ++i)
+      total |= ((p[i] >> lane) & 1u) << i;
+    return total;
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+};
 
 /// Word-parallel netlist evaluator: 64 lanes per uint64_t, one word per
 /// net. Lane semantics (cycles vs runs) are chosen by the caller; the
@@ -78,19 +115,61 @@ class BitSimulator {
   int settle(std::vector<std::uint64_t>* toggles_total,
              std::vector<std::vector<std::uint64_t>>* per_lane = nullptr);
 
-  /// Evaluate one gate's function over the current value words (Shannon
-  /// cofactor reduction of the truth table).
+  /// Unit-delay settle specialised for the multi-run batch path: per-net
+  /// per-lane transition counts accumulate into `toggles` (bit-sliced, no
+  /// per-lane scatter), and every net whose value changed is appended once
+  /// to `touched` with its pre-settle word stored in `before` — the
+  /// caller derives the functional/glitch split from before vs settled
+  /// without scanning or snapshotting the whole net array per cycle.
+  /// `touched_flag` is the dedupe scratch (num_nets zeros on entry; the
+  /// caller resets the touched entries afterwards).
+  int settle_batch(LaneCounters& toggles, std::vector<NetId>& touched,
+                   std::vector<char>& touched_flag,
+                   std::vector<std::uint64_t>& before);
+
+  /// Evaluate one gate's function over the current value words. Gates are
+  /// classified at construction: the overwhelmingly common datapath
+  /// functions (mux, parity, majority, and/or with polarities, buffers)
+  /// evaluate in 2-5 word ops; everything else falls back to a Shannon
+  /// cofactor reduction of the (support-reduced) truth table. All paths
+  /// compute the identical boolean function, so values — and therefore
+  /// event schedules and glitch counts — are bit-identical to the
+  /// reference.
   std::uint64_t eval_gate(int gate_index) const;
 
  private:
+  /// Specialised evaluator selected per gate at construction.
+  enum GateOp : std::uint8_t {
+    kOpShannon,  // generic fallback, k <= 4 (inputs in the packed record)
+    kOpShannonBig,  // generic fallback, k > 4 (inputs in the CSR)
+    kOpConst,    // constant 0 / ~0 (inv flag)
+    kOpBuf,      // x or ~x
+    kOpParity,   // x0 ^ x1 ^ ... (^ inv)
+    kOpAndPol,   // AND_j (x_j ^ pol_j) (^ inv) — covers AND/OR/NAND/NOR
+    kOpMux,      // s ? a : b (^ inv)
+    kOpMaj,      // majority(a, b, c) (^ inv)
+  };
+
+  /// Everything one gate evaluation reads, in one 32-byte record (the
+  /// settle loop is memory-bound; scattering this over parallel arrays
+  /// costs several cache lines per eval). Inputs are support-reduced.
+  struct PackedGate {
+    std::uint8_t op = kOpShannon;
+    std::uint8_t inv = 0;   // final inversion flag
+    std::uint8_t pol = 0;   // kOpAndPol input polarity bits
+    std::uint8_t k = 0;     // fanin count after support reduction
+    std::uint32_t tt = 0;   // reduced truth table (k <= 4 fits 16 rows)
+    NetId out = 0;
+    NetId in[4] = {0, 0, 0, 0};  // operands (kOpMux: select, then-, else-)
+  };
+
   template <typename OnChange>
   int settle_events(OnChange&& on_change);
 
   const Netlist* netlist_;
-  // Flattened gate structure (CSR) for cache-friendly traversal.
+  std::vector<PackedGate> gates_;
+  // CSR input lists, used only by the k > 4 Shannon fallback.
   std::vector<std::uint64_t> tt_bits_;
-  std::vector<int> tt_ins_;      // fanin count per gate
-  std::vector<NetId> gate_out_;
   std::vector<int> in_start_;    // gate -> offset into in_nets_
   std::vector<NetId> in_nets_;
   std::vector<int> fan_start_;   // net -> offset into fan_gates_
@@ -124,6 +203,15 @@ CycleSimStats simulate_frames(const Netlist& n,
 std::vector<CycleSimStats> simulate_batch(
     const Netlist& n,
     const std::vector<std::vector<std::vector<char>>>& runs);
+
+/// Group-dispatch helper for the seed-coalescing experiment path: many
+/// stimulus sequences through one netlist under either engine. The scalar
+/// reference loops simulate_frames per run; the batched engine rides
+/// simulate_batch's multi-run lanes (64 runs per word). Results are
+/// bit-identical across engines, and to per-run simulate_frames calls.
+std::vector<CycleSimStats> simulate_runs(
+    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
+    SimEngine engine);
 
 /// Many bindings' netlists sharing one stimulus (the paper's controlled
 /// comparison): each netlist is evaluated with the batched single-run path.

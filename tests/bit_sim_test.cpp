@@ -5,6 +5,7 @@
 // non-multiple-of-64 frame counts and mixed-length run batches.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,36 @@ TEST(BitSim, MatchesScalarOnMappedMultiplier) {
   const CycleSimStats scalar = simulate_frames(n, frames);
   expect_identical(scalar, simulate_frames_batched(n, frames), "mapped mult");
   EXPECT_GT(scalar.glitch_transitions(), 0u);  // the comparison is non-trivial
+}
+
+TEST(BitSim, MatchesScalarOnWideGates) {
+  // k=5/6 gates exceed the packed-record operand slots, so they must stay
+  // on the CSR Shannon fallback — including wide parity/AND/OR shapes
+  // that LOOK like the specialised k<=4 patterns (regression: classifying
+  // them used to read past the packed input array).
+  Netlist n("wide");
+  std::vector<NetId> pis;
+  for (int i = 0; i < 6; ++i)
+    pis.push_back(n.add_input("i" + std::to_string(i)));
+  std::uint64_t parity5 = 0, parity6 = 0;
+  for (std::uint32_t m = 0; m < 64; ++m) {
+    if (std::popcount(m & 31u) & 1) parity5 |= 1ull << (m & 31u);
+    if (std::popcount(m) & 1) parity6 |= 1ull << m;
+  }
+  const std::vector<NetId> five(pis.begin(), pis.begin() + 5);
+  const NetId x5 = n.add_gate_net("xor5", five, TruthTable(5, parity5));
+  const NetId x6 = n.add_gate_net("xor6", pis, TruthTable(6, parity6));
+  const NetId a5 = n.add_gate_net("and5", five,
+                                  TruthTable(5, 1ull << 31));  // AND of 5
+  const NetId o6 = n.add_gate_net("or6", pis, TruthTable(6, ~1ull));
+  const NetId mix = n.add_gate_net("mix", {x5, x6, a5, o6},
+                                   TruthTable(4, 0x96c3));
+  n.add_output(mix);
+  n.validate();
+  const auto frames =
+      random_vectors(130, static_cast<int>(n.inputs().size()), 41);
+  expect_identical(simulate_frames(n, frames),
+                   simulate_frames_batched(n, frames), "wide gates");
 }
 
 TEST(BitSim, EmptyFrameListAndArityChecks) {

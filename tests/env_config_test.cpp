@@ -1,0 +1,145 @@
+// Dedicated coverage for the strict env-var parsers: HLP_JOBS
+// (flow::jobs_from_env), HLP_VECTORS (vectors_from_env) and HLP_COALESCE
+// (flow::coalesce_from_env). Garbage, negative, zero, overflow and unset
+// inputs each have a pinned behaviour: unset/empty falls back, everything
+// invalid throws — a sweep must die loudly, not run with a silently
+// defaulted configuration.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "flow/experiment.hpp"
+#include "rtl/flow.hpp"
+
+namespace hlp {
+namespace {
+
+// RAII: every test leaves the variable unset no matter how it exits.
+class ScopedUnsetEnv {
+ public:
+  explicit ScopedUnsetEnv(const char* name) : name_(name) { unset(); }
+  ~ScopedUnsetEnv() { unset(); }
+  void set(const char* value) { ASSERT_EQ(setenv(name_, value, 1), 0); }
+
+ private:
+  void unset() { unsetenv(name_); }
+  const char* name_;
+};
+
+const char* const kGarbage[] = {"abc", "12abc", "1e3", "0x10", "4.5", "--2"};
+const char* const kNonPositive[] = {"0", "-1", "-5"};
+const char* const kOverflow[] = {"99999999999999999999", "2147483648",
+                                 "-99999999999999999999"};
+
+TEST(EnvConfig, JobsUnsetAndEmptyFallBack) {
+  ScopedUnsetEnv env("HLP_JOBS");
+  EXPECT_EQ(flow::jobs_from_env(3), 3);
+  env.set("");
+  EXPECT_EQ(flow::jobs_from_env(7), 7);
+}
+
+TEST(EnvConfig, JobsParsesValidCounts) {
+  ScopedUnsetEnv env("HLP_JOBS");
+  env.set("1");
+  EXPECT_EQ(flow::jobs_from_env(3), 1);
+  env.set("16");
+  EXPECT_EQ(flow::jobs_from_env(3), 16);
+  env.set("2147483647");  // INT_MAX is the inclusive upper bound
+  EXPECT_EQ(flow::jobs_from_env(3), 2147483647);
+}
+
+TEST(EnvConfig, JobsRejectsGarbageNegativeAndOverflow) {
+  ScopedUnsetEnv env("HLP_JOBS");
+  for (const char* bad : kGarbage) {
+    env.set(bad);
+    EXPECT_THROW(flow::jobs_from_env(3), Error) << "input '" << bad << "'";
+  }
+  for (const char* bad : kNonPositive) {
+    env.set(bad);
+    EXPECT_THROW(flow::jobs_from_env(3), Error) << "input '" << bad << "'";
+  }
+  for (const char* bad : kOverflow) {
+    env.set(bad);
+    EXPECT_THROW(flow::jobs_from_env(3), Error) << "input '" << bad << "'";
+  }
+}
+
+TEST(EnvConfig, JobsErrorNamesTheVariableAndValue) {
+  ScopedUnsetEnv env("HLP_JOBS");
+  env.set("banana");
+  try {
+    flow::jobs_from_env(3);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HLP_JOBS"), std::string::npos);
+    EXPECT_NE(what.find("banana"), std::string::npos);
+  }
+}
+
+TEST(EnvConfig, VectorsUnsetAndEmptyFallBack) {
+  ScopedUnsetEnv env("HLP_VECTORS");
+  EXPECT_EQ(vectors_from_env(123), 123);
+  env.set("");
+  EXPECT_EQ(vectors_from_env(456), 456);
+}
+
+TEST(EnvConfig, VectorsParsesValidCounts) {
+  ScopedUnsetEnv env("HLP_VECTORS");
+  env.set("1");
+  EXPECT_EQ(vectors_from_env(123), 1);
+  env.set("1000");
+  EXPECT_EQ(vectors_from_env(123), 1000);
+}
+
+TEST(EnvConfig, VectorsRejectsGarbageNegativeAndOverflow) {
+  ScopedUnsetEnv env("HLP_VECTORS");
+  for (const char* bad : kGarbage) {
+    env.set(bad);
+    EXPECT_THROW(vectors_from_env(123), Error) << "input '" << bad << "'";
+  }
+  for (const char* bad : kNonPositive) {
+    env.set(bad);
+    EXPECT_THROW(vectors_from_env(123), Error) << "input '" << bad << "'";
+  }
+  for (const char* bad : kOverflow) {
+    env.set(bad);
+    EXPECT_THROW(vectors_from_env(123), Error) << "input '" << bad << "'";
+  }
+}
+
+TEST(EnvConfig, CoalesceUnsetAndEmptyFallBack) {
+  ScopedUnsetEnv env("HLP_COALESCE");
+  EXPECT_TRUE(flow::coalesce_from_env(true));
+  EXPECT_FALSE(flow::coalesce_from_env(false));
+  env.set("");
+  EXPECT_TRUE(flow::coalesce_from_env(true));
+}
+
+TEST(EnvConfig, CoalesceParsesZeroAndOneOnly) {
+  ScopedUnsetEnv env("HLP_COALESCE");
+  env.set("0");
+  EXPECT_FALSE(flow::coalesce_from_env(true));
+  env.set("1");
+  EXPECT_TRUE(flow::coalesce_from_env(false));
+  for (const char* bad : {"true", "false", "2", "on", "yes", "-1"}) {
+    env.set(bad);
+    EXPECT_THROW(flow::coalesce_from_env(true), Error)
+        << "input '" << bad << "'";
+  }
+}
+
+TEST(EnvConfig, CoalesceEnvSetsTheRunnerDefault) {
+  ScopedUnsetEnv env("HLP_COALESCE");
+  env.set("0");
+  flow::ExperimentRunner off(1);
+  EXPECT_FALSE(off.coalescing());
+  env.set("1");
+  flow::ExperimentRunner on(1);
+  EXPECT_TRUE(on.coalescing());
+}
+
+}  // namespace
+}  // namespace hlp

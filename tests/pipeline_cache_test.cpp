@@ -1,0 +1,241 @@
+// Tests for the per-binding StageCache: hits skip the bind-fus..time span
+// (elaborate/map included), binding_hash() cannot collide across differing
+// BinderSpec/rc/width, cached and uncached outcomes are equal, and custom
+// stage overrides opt the pipeline out of caching entirely.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cdfg/benchmarks.hpp"
+#include "flow/experiment.hpp"
+#include "flow/flow_context.hpp"
+#include "flow/pipeline.hpp"
+
+namespace hlp {
+namespace {
+
+constexpr int kWidth = 4;
+constexpr int kVectors = 12;
+
+flow::ContextOptions small_options(int width = kWidth) {
+  flow::ContextOptions opt;
+  opt.width = width;
+  return opt;
+}
+
+flow::RunSpec hlp_spec() {
+  flow::RunSpec spec;
+  spec.binder.name = "hlpower";
+  spec.num_vectors = kVectors;
+  return spec;
+}
+
+bool cached(const flow::PipelineOutcome& out, const std::string& stage) {
+  return std::find(out.cached_stages.begin(), out.cached_stages.end(),
+                   stage) != out.cached_stages.end();
+}
+
+void expect_equal_outcomes(const flow::PipelineOutcome& a,
+                           const flow::PipelineOutcome& b) {
+  EXPECT_EQ(a.fus.fu_of_op, b.fus.fu_of_op);
+  EXPECT_EQ(a.refined, b.refined);
+  EXPECT_EQ(a.flow.mapped.num_luts, b.flow.mapped.num_luts);
+  EXPECT_EQ(a.flow.mapped.depth, b.flow.mapped.depth);
+  EXPECT_EQ(a.flow.clock_period_ns, b.flow.clock_period_ns);
+  EXPECT_EQ(a.flow.sim.toggles, b.flow.sim.toggles);
+  EXPECT_EQ(a.flow.sim.total_transitions, b.flow.sim.total_transitions);
+  EXPECT_EQ(a.flow.sim.functional_transitions,
+            b.flow.sim.functional_transitions);
+  EXPECT_EQ(a.flow.report.dynamic_power_mw, b.flow.report.dynamic_power_mw);
+  EXPECT_EQ(a.flow.report.toggle_rate_mps, b.flow.report.toggle_rate_mps);
+  EXPECT_EQ(a.flow.mux_stats.mux_length, b.flow.mux_stats.mux_length);
+}
+
+TEST(StageCache, SecondRunHitsAndSkipsElaborateAndMap) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  const flow::Pipeline pipeline = flow::Pipeline::standard();
+
+  const flow::PipelineOutcome first = pipeline.run(ctx, hlp_spec());
+  EXPECT_TRUE(first.cached_stages.empty());
+  EXPECT_EQ(ctx.stage_cache().hits(), 0u);
+  EXPECT_EQ(ctx.stage_cache().misses(), 1u);
+  EXPECT_EQ(ctx.stage_cache().size(), 1u);
+
+  const flow::PipelineOutcome second = pipeline.run(ctx, hlp_spec());
+  EXPECT_EQ(ctx.stage_cache().hits(), 1u);
+  EXPECT_EQ(ctx.stage_cache().misses(), 1u);
+  // The whole bind-fus..time span came from the cache, elaborate and map
+  // included; the seed-dependent tail (simulate, power) still ran.
+  for (const char* stage :
+       {"bind-fus", "refine", "elaborate", "map", "time"})
+    EXPECT_TRUE(cached(second, stage)) << stage;
+  EXPECT_FALSE(cached(second, "simulate"));
+  EXPECT_FALSE(cached(second, "power"));
+  // The timing ledger still has one entry per stage, in order.
+  ASSERT_EQ(second.timings.size(), flow::Pipeline::stage_names().size());
+  expect_equal_outcomes(first, second);
+}
+
+TEST(StageCache, DistinctSpecsMissAndCoexist) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  const flow::Pipeline pipeline = flow::Pipeline::standard();
+
+  flow::RunSpec lopass;
+  lopass.binder.name = "lopass";
+  lopass.num_vectors = kVectors;
+  flow::RunSpec half = hlp_spec();
+  flow::RunSpec one = hlp_spec();
+  one.binder.alpha = 1.0;
+
+  pipeline.run(ctx, lopass);
+  pipeline.run(ctx, half);
+  pipeline.run(ctx, one);
+  EXPECT_EQ(ctx.stage_cache().size(), 3u);
+  EXPECT_EQ(ctx.stage_cache().hits(), 0u);
+
+  // Revisiting any of the three hits its own entry.
+  const auto again = pipeline.run(ctx, lopass);
+  EXPECT_EQ(ctx.stage_cache().hits(), 1u);
+  EXPECT_TRUE(cached(again, "elaborate"));
+}
+
+TEST(StageCache, BindingHashCannotCollideAcrossTheTestGrid) {
+  // The "hash" is an exact serialisation of every field the cached span
+  // reads, so distinct (BinderSpec, rc, width) grid points must map to
+  // distinct keys — collision-freedom by construction, verified here over
+  // the full cross product.
+  std::set<std::string> hashes;
+  std::size_t points = 0;
+  for (const int width : {4, 8})
+    for (const ResourceConstraint rc :
+         {ResourceConstraint{2, 2}, ResourceConstraint{3, 2},
+          ResourceConstraint{2, 3}, ResourceConstraint{3, 3}}) {
+      flow::FlowContext ctx(make_paper_benchmark("pr"), rc,
+                            small_options(width));
+      for (const char* name : {"hlpower", "lopass"})
+        for (const double alpha : {0.25, 0.5, 1.0})
+          for (const double beta : {-1.0, 0.5})
+            for (const bool refine : {false, true})
+              for (const double lut_delay : {0.45, 0.9}) {
+                flow::BinderSpec spec{name};
+                spec.alpha = alpha;
+                spec.beta_add = beta;
+                spec.refine = refine;
+                TimingModel timing;
+                timing.lut_delay_ns = lut_delay;
+                hashes.insert(ctx.binding_hash(spec, MapParams{}, timing));
+                ++points;
+              }
+    }
+  EXPECT_EQ(hashes.size(), points);
+}
+
+TEST(StageCache, TimingModelIsPartOfTheKey) {
+  // The cached span ends at `time`, whose output depends on the timing
+  // model — two runs differing only in RunSpec::timing must not share an
+  // entry (regression: a hit used to install the first model's clock).
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  const flow::Pipeline pipeline = flow::Pipeline::standard();
+  flow::RunSpec fast = hlp_spec();
+  flow::RunSpec slow = hlp_spec();
+  slow.timing.lut_delay_ns = 2 * fast.timing.lut_delay_ns;
+  const auto a = pipeline.run(ctx, fast);
+  const auto b = pipeline.run(ctx, slow);
+  EXPECT_EQ(ctx.stage_cache().hits(), 0u);
+  EXPECT_EQ(ctx.stage_cache().size(), 2u);
+  EXPECT_GT(b.flow.clock_period_ns, a.flow.clock_period_ns);
+  // Re-running each spec hits its own entry with its own clock.
+  const auto b2 = pipeline.run(ctx, slow);
+  EXPECT_EQ(ctx.stage_cache().hits(), 1u);
+  EXPECT_EQ(b2.flow.clock_period_ns, b.flow.clock_period_ns);
+}
+
+TEST(StageCache, CachedAndUncachedOutcomesAreEqual) {
+  // Same context, caching on vs off: identical numbers either way.
+  flow::FlowContext ctx(make_paper_benchmark("wang"), {2, 2}, small_options());
+  const flow::Pipeline pipeline = flow::Pipeline::standard();
+
+  flow::RunSpec uncached_spec = hlp_spec();
+  uncached_spec.use_stage_cache = false;
+  const auto uncached1 = pipeline.run(ctx, uncached_spec);
+  const auto uncached2 = pipeline.run(ctx, uncached_spec);
+  EXPECT_EQ(ctx.stage_cache().size(), 0u);
+  EXPECT_EQ(ctx.stage_cache().hits() + ctx.stage_cache().misses(), 0u);
+
+  const auto miss = pipeline.run(ctx, hlp_spec());   // populates
+  const auto hit = pipeline.run(ctx, hlp_spec());    // reuses
+  EXPECT_EQ(ctx.stage_cache().hits(), 1u);
+  expect_equal_outcomes(uncached1, uncached2);
+  expect_equal_outcomes(uncached1, miss);
+  expect_equal_outcomes(uncached1, hit);
+}
+
+TEST(StageCache, RefineArtifactsRoundTrip) {
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  const flow::Pipeline pipeline = flow::Pipeline::standard();
+  flow::RunSpec spec = hlp_spec();
+  spec.binder.refine = true;
+
+  const auto first = pipeline.run(ctx, spec);
+  const auto second = pipeline.run(ctx, spec);
+  ASSERT_TRUE(first.refined);
+  ASSERT_TRUE(second.refined);
+  EXPECT_TRUE(cached(second, "refine"));
+  EXPECT_EQ(first.refine.cost_before, second.refine.cost_before);
+  EXPECT_EQ(first.refine.cost_after, second.refine.cost_after);
+  expect_equal_outcomes(first, second);
+}
+
+TEST(StageCache, ReplacedStageOptsOutOfCaching) {
+  // A pipeline with a custom pre-simulate stage must not read OR write the
+  // cache: the binding hash cannot see the override's body, so caching
+  // would serve another pipeline's artifacts for the same spec.
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  flow::Pipeline custom = flow::Pipeline::standard();
+  int calls = 0;
+  custom.replace("map", [&calls](flow::PipelineState& st) {
+    ++calls;
+    st.out.flow.mapped = tech_map(st.datapath.netlist, st.spec.map);
+  });
+  custom.run(ctx, hlp_spec());
+  custom.run(ctx, hlp_spec());
+  EXPECT_EQ(calls, 2);  // no hit short-circuited the override
+  EXPECT_EQ(ctx.stage_cache().size(), 0u);
+  EXPECT_EQ(ctx.stage_cache().hits() + ctx.stage_cache().misses(), 0u);
+
+  // Replacing only a post-simulate stage keeps caching sound and on.
+  flow::Pipeline tail = flow::Pipeline::standard();
+  tail.replace("power", [](flow::PipelineState&) {});
+  tail.run(ctx, hlp_spec());
+  EXPECT_EQ(ctx.stage_cache().misses(), 1u);
+  EXPECT_EQ(ctx.stage_cache().size(), 1u);
+}
+
+TEST(StageCache, BatchRunsShareTheCacheWithSingleRuns) {
+  // run_batch populates the same per-context cache run() reads, and vice
+  // versa — a seed sweep after a single probe run skips straight to
+  // simulate.
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  const flow::Pipeline pipeline = flow::Pipeline::standard();
+  const auto probe = pipeline.run(ctx, hlp_spec());
+  const auto batch = pipeline.run_batch(ctx, hlp_spec(), {5, 6, 7});
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(ctx.stage_cache().hits(), 1u);
+  for (const auto& out : batch) {
+    EXPECT_TRUE(std::find(out.cached_stages.begin(), out.cached_stages.end(),
+                          "elaborate") != out.cached_stages.end());
+    EXPECT_EQ(out.fus.fu_of_op, probe.fus.fu_of_op);
+    EXPECT_EQ(out.flow.clock_period_ns, probe.flow.clock_period_ns);
+  }
+  // Seed 42 is the probe's default: lane results match the single run.
+  const auto again = pipeline.run_batch(ctx, hlp_spec(), {42});
+  EXPECT_EQ(again[0].flow.sim.toggles, probe.flow.sim.toggles);
+  EXPECT_EQ(again[0].flow.report.dynamic_power_mw,
+            probe.flow.report.dynamic_power_mw);
+}
+
+}  // namespace
+}  // namespace hlp
