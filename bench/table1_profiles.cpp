@@ -50,6 +50,11 @@ int main(int argc, char** argv) {
   // The ROADMAP's "exploit simulate_batch's multi-run lanes" acceptance
   // sweep: 64 stimulus seeds of one binding, coalesced vs independent.
   hlp::bench::print_seed_sweep(std::cout, {"wang", "pr"}, 64);
+  // Per-width scaling of the coalesced path: 512 seeds fill one whole
+  // word at EVERY backend (8 u64 words .. 1 avx512 word), so the table
+  // measures width scaling rather than word utilisation; bit-identity is
+  // checked against the u64 row.
+  hlp::bench::print_simd_sweep(std::cout, {"wang", "pr"}, 512);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

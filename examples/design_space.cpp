@@ -9,7 +9,8 @@
 //
 // A second phase then Monte-Carlos the stimulus at the lowest-power
 // allocation: 64 seeds coalesced into one word-parallel pipeline pass
-// (they ride simulate's 64 lanes), reporting the power spread and the
+// (one seed per simulator lane; the lane-aware HLP_SIMD auto dispatch
+// sizes the word to the group), reporting the power spread and the
 // per-stage cache hits the seed sweep enjoyed.
 //
 // Run:  ./build/design_space [benchmark]
@@ -82,9 +83,9 @@ int main(int argc, char** argv) {
   if (!best) return 0;
 
   // Monte-Carlo the stimulus at that point: 64 seeds differing only in
-  // `seed` coalesce into ONE pipeline invocation (64 lanes per word), and
-  // the bind/elaborate/map artifacts come from the allocation sweep's
-  // stage cache.
+  // `seed` coalesce into ONE pipeline invocation (one seed per simulator
+  // lane), and the bind/elaborate/map artifacts come from the allocation
+  // sweep's stage cache.
   std::vector<std::uint64_t> seeds;
   for (std::uint64_t s = 0; s < 64; ++s) seeds.push_back(1000 + s);
   const std::vector<flow::Job> mc_jobs = flow::ExperimentRunner::grid(

@@ -40,7 +40,21 @@ bool coalesce_from_env(bool fallback) {
 
 namespace {
 
-constexpr std::size_t kWordLanes = BitSimulator::kLanes;
+// Lanes of one coalesced chunk for this job's (resolved) word width:
+// what run_batch will pick for a `group_size`-seed batch, so chunk
+// boundaries line up with simulator words. A bad HLP_SIMD value or an
+// unsupported explicit mode surfaces when the job's pipeline resolves the
+// same mode — there it is captured as a per-job failure — so chunk sizing
+// falls back quietly instead of throwing out of run().
+std::size_t chunk_lanes_for(const Job& job, std::size_t group_size) {
+  if (job.sim_engine != SimEngine::kBatched) return 64;
+  try {
+    return static_cast<std::size_t>(
+        simd_lanes(effective_simd_mode(job.simd, group_size)));
+  } catch (const std::exception&) {
+    return 64;
+  }
+}
 
 std::string context_key(const Job& job) {
   std::ostringstream key;
@@ -58,7 +72,8 @@ std::string group_key(const Job& job) {
   key << context_key(job) << '|' << job.binder.name << '|' << std::hexfloat
       << job.binder.alpha << '|' << job.binder.beta_add << '|'
       << job.binder.beta_mult << '|' << job.binder.refine << '|'
-      << job.num_vectors << '|' << static_cast<int>(job.sim_engine);
+      << job.num_vectors << '|' << static_cast<int>(job.sim_engine) << '|'
+      << static_cast<int>(job.simd);
   return key.str();
 }
 
@@ -68,6 +83,7 @@ RunSpec spec_for(const Job& job) {
   spec.num_vectors = job.num_vectors;
   spec.seed = job.seed;
   spec.sim_engine = job.sim_engine;
+  spec.simd = job.simd;
   return spec;
 }
 
@@ -148,10 +164,11 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
   };
 
   // Coalesce jobs that differ only in stimulus seed. A unit is one
-  // dispatchable work item: a singleton job, or one word-sized chunk (up
-  // to 64 seeds = one simulator word) of a seed group — chunking lets a
-  // group larger than a word spread across the thread pool while each
-  // chunk still fills its lanes. `logical` records the full group size.
+  // dispatchable work item: a singleton job, or one word-sized chunk (one
+  // simulator word of seeds — 64 at u64 width, up to 512 under avx512) of
+  // a seed group — chunking lets a group larger than a word spread across
+  // the thread pool while each chunk still fills its lanes. `logical`
+  // records the full group size.
   struct Unit {
     std::vector<std::size_t> members;
     std::size_t logical = 1;
@@ -168,15 +185,18 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
       else
         groups[it->second].push_back(i);
     }
-    for (auto& group : groups)
-      for (std::size_t c0 = 0; c0 < group.size(); c0 += kWordLanes) {
+    for (auto& group : groups) {
+      const std::size_t word_lanes =
+          chunk_lanes_for(jobs[group.front()], group.size());
+      for (std::size_t c0 = 0; c0 < group.size(); c0 += word_lanes) {
         Unit unit;
         unit.logical = group.size();
         unit.members.assign(
             group.begin() + c0,
-            group.begin() + std::min(group.size(), c0 + kWordLanes));
+            group.begin() + std::min(group.size(), c0 + word_lanes));
         units.push_back(std::move(unit));
       }
+    }
   } else {
     units.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) units.push_back({{i}, 1});

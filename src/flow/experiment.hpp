@@ -7,8 +7,9 @@
 // On top of that, jobs that differ ONLY in stimulus seed are coalesced
 // (default on, see set_coalescing) into one Pipeline::run_batch invocation:
 // the head stages run once and the seeds ride the word-parallel simulator
-// 64 per machine word, a Monte-Carlo sweep paying the netlist traversal
-// once per word instead of once per seed.
+// one per lane — 64 lanes per u64 word, up to 512 under HLP_SIMD/avx512
+// (Job::simd) — a Monte-Carlo sweep paying the netlist traversal once per
+// word instead of once per seed.
 // All algorithms in the library are deterministic and the SaCache
 // memoisation is value-deterministic under races, so results are identical
 // for any thread count and either coalescing setting; only wall-clock
@@ -57,6 +58,13 @@ struct Job {
   /// Simulation engine for the pipeline's `simulate` stage (bit-parallel
   /// batch by default; scalar is the reference oracle).
   SimEngine sim_engine = SimEngine::kBatched;
+  /// Word width for the batched engine (RunSpec::simd): kAuto defers to
+  /// HLP_SIMD and then sizes the word to the coalesced seed group (never
+  /// wider than the group can fill, up to the widest CPU-supported
+  /// backend); results are bit-identical at every width. Coalesced seed
+  /// groups are chunked to this width (jobs with different `simd` never
+  /// share a chunk).
+  SimdMode simd = SimdMode::kAuto;
   /// Free-form tag carried through to the result (display only).
   std::string label;
 };
@@ -103,9 +111,10 @@ class ExperimentRunner {
   const std::string& sa_cache_path() const { return sa_cache_path_; }
 
   /// Coalesce jobs that differ only in stimulus seed into one
-  /// Pipeline::run_batch call (64 seeds per simulator word). On by
-  /// default; the HLP_COALESCE env var sets the constructor default.
-  /// Results are bit-identical either way (tests/experiment_batch_test).
+  /// Pipeline::run_batch call (one seed per simulator lane, chunked to
+  /// the job's resolved word width). On by default; the HLP_COALESCE env
+  /// var sets the constructor default. Results are bit-identical either
+  /// way (tests/experiment_batch_test).
   void set_coalescing(bool on) { coalesce_ = on; }
   bool coalescing() const { return coalesce_; }
 

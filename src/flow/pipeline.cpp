@@ -5,6 +5,7 @@
 
 #include "binding/datapath_stats.hpp"
 #include "common/error.hpp"
+#include "flow/seed_chunk.hpp"
 #include "netlist/timing.hpp"
 #include "sim/vectors.hpp"
 
@@ -83,13 +84,21 @@ void stage_time(PipelineState& st) {
 }
 
 void stage_simulate(PipelineState& st) {
-  // Stimulus identical to run_flow (same seed, same sequence).
+  // Stimulus identical to run_flow (same seed, same sequence). The word
+  // width only matters for the batched engine; every width is
+  // bit-identical, so resolving the spec's simd knob here cannot change
+  // the result, only the wall clock.
   const auto samples =
       random_samples(st.spec.num_vectors, st.ctx.cdfg().num_inputs(),
                      st.ctx.width(), st.spec.seed);
   const auto frames = make_frames(st.datapath, samples);
+  // Lanes = consecutive cycles here, so the auto width is sized to the
+  // frame count (it is essentially always >= 512 for real vector counts).
+  const SimdMode simd = st.spec.sim_engine == SimEngine::kBatched
+                            ? effective_simd_mode(st.spec.simd, frames.size())
+                            : SimdMode::kU64;
   st.out.flow.sim = simulate_frames(st.out.flow.mapped.lut_netlist, frames,
-                                    st.spec.sim_engine);
+                                    st.spec.sim_engine, simd);
 }
 
 // The span of stages whose artifacts a StageCache entry carries. Stages
@@ -129,87 +138,6 @@ StageCache::Entry capture_entry(const PipelineState& st) {
   e.mapped = st.out.flow.mapped;
   e.clock_period_ns = st.out.flow.clock_period_ns;
   return e;
-}
-
-// Word-parallel datapath simulation of up to 64 stimulus seeds (one lane
-// each) against one netlist, staging stimulus directly as words instead of
-// materialising per-seed char frames: control inputs are identical across
-// lanes (staged 0/~0), and a sample's data bits are constant across its
-// phases (gathered once per sample; re-staging an unchanged word is a
-// no-op, so this is bit-identical to driving make_frames' rows).
-std::vector<CycleSimStats> simulate_seed_chunk(
-    const Netlist& n, const Datapath& dp,
-    const std::vector<std::vector<std::vector<std::uint64_t>>>& lane_samples) {
-  const int lanes = static_cast<int>(lane_samples.size());
-  HLP_REQUIRE(lanes >= 1 && lanes <= BitSimulator::kLanes,
-              "seed chunk must fit one simulator word");
-  const std::uint64_t active =
-      lanes == BitSimulator::kLanes ? ~0ull : (1ull << lanes) - 1;
-  const int num_nets = n.num_nets();
-  const auto& pis = n.inputs();
-  const auto& latches = n.latches();
-  const std::size_t num_samples = lane_samples.front().size();
-  const std::size_t num_inputs = dp.data_input_pos.size();
-
-  BitSimulator sim(n);
-  // Reset to the all-zero-source settled state in every lane.
-  for (NetId pi : pis) sim.stage_source(pi, 0);
-  for (const auto& l : latches) sim.stage_source(l.q, 0);
-  sim.settle_zero_delay();
-
-  LaneCounters toggles(num_nets);
-  LaneCounters fn(1);
-  std::vector<NetId> touched;
-  touched.reserve(num_nets);
-  std::vector<char> touched_flag(num_nets, 0);
-  std::vector<std::uint64_t> before(num_nets);
-  std::vector<std::uint64_t> data_words(num_inputs * dp.width);
-
-  for (std::size_t s = 0; s < num_samples; ++s) {
-    // Gather this sample's data input words, lane-major.
-    std::fill(data_words.begin(), data_words.end(), 0);
-    for (int l = 0; l < lanes; ++l) {
-      const auto& sample = lane_samples[l][s];
-      for (std::size_t p = 0; p < num_inputs; ++p) {
-        const std::uint64_t word = sample[p];
-        for (int j = 0; j < dp.width; ++j)
-          data_words[p * dp.width + j] |= ((word >> j) & 1u) << l;
-      }
-    }
-    for (int ph = 0; ph < dp.num_phases; ++ph) {
-      for (std::size_t p = 0; p < num_inputs; ++p)
-        for (int j = 0; j < dp.width; ++j)
-          sim.stage_source(pis[dp.data_input_pos[p] + j],
-                           data_words[p * dp.width + j]);
-      for (const auto& cg : dp.controls) {
-        const int sel = cg.select_by_phase[ph];
-        for (std::size_t k = 0; k < cg.input_positions.size(); ++k)
-          sim.stage_source(pis[cg.input_positions[k]],
-                           ((sel >> k) & 1) ? active : 0);
-      }
-      for (const auto& l : latches)
-        sim.stage_source(
-            l.q, (sim.word(l.d) & active) | (sim.word(l.q) & ~active));
-      sim.settle_batch(toggles, touched, touched_flag, before);
-      for (const NetId net : touched) {
-        touched_flag[net] = 0;
-        fn.add(0, before[net] ^ sim.word(net));
-      }
-      touched.clear();
-    }
-  }
-
-  std::vector<CycleSimStats> results(lanes);
-  for (int l = 0; l < lanes; ++l) {
-    CycleSimStats& st = results[l];
-    st.num_cycles = num_samples * dp.num_phases;
-    st.toggles.resize(num_nets);
-    for (NetId net = 0; net < num_nets; ++net)
-      st.toggles[net] = toggles.count(net, l);
-    st.functional_transitions = fn.count(0, l);
-    for (auto v : st.toggles) st.total_transitions += v;
-  }
-  return results;
 }
 
 void stage_power(PipelineState& st) {
@@ -321,26 +249,32 @@ std::vector<PipelineOutcome> Pipeline::run_batch(
   HLP_REQUIRE(found_simulate, "run_batch needs a `simulate` stage");
 
   // Word-parallel simulate: the same stimulus run() would generate per
-  // seed, packed 64 seeds per word (chunked so stimulus memory stays
-  // bounded at one lane group). The batched engine stages sample words
-  // directly (simulate_seed_chunk); the scalar oracle goes through the
-  // char-frame path per seed. One `simulate` timing entry covers the
-  // batch.
+  // seed, packed one seed per lane and chunked to the selected word width
+  // (64 lanes for u64, up to 512 under avx512 — chunking also keeps
+  // stimulus memory bounded at one lane group). The batched engine stages
+  // sample words directly (flow/seed_chunk.hpp); the scalar oracle goes
+  // through the char-frame path per seed. One `simulate` timing entry
+  // covers the batch.
+  const bool batched = spec.sim_engine == SimEngine::kBatched;
+  // Auto width is sized to the seed group: a word wider than the group
+  // pays full word cost on lanes that can never fill.
+  const SimdMode simd =
+      batched ? effective_simd_mode(spec.simd, seeds.size()) : SimdMode::kU64;
+  const std::size_t chunk_lanes = static_cast<std::size_t>(simd_lanes(simd));
   const auto t0 = Clock::now();
   std::vector<CycleSimStats> sims(seeds.size());
-  for (std::size_t g0 = 0; g0 < seeds.size(); g0 += BitSimulator::kLanes) {
+  for (std::size_t g0 = 0; g0 < seeds.size(); g0 += chunk_lanes) {
     const std::size_t count =
-        std::min<std::size_t>(BitSimulator::kLanes, seeds.size() - g0);
+        std::min<std::size_t>(chunk_lanes, seeds.size() - g0);
     std::vector<CycleSimStats> chunk;
-    if (spec.sim_engine == SimEngine::kBatched) {
-      std::vector<std::vector<std::vector<std::uint64_t>>> lane_samples(
-          count);
+    if (batched) {
+      LaneSamples lane_samples(count);
       for (std::size_t i = 0; i < count; ++i)
         lane_samples[i] =
             random_samples(spec.num_vectors, ctx.cdfg().num_inputs(),
                            ctx.width(), seeds[g0 + i]);
       chunk = simulate_seed_chunk(st.out.flow.mapped.lut_netlist, st.datapath,
-                                  lane_samples);
+                                  lane_samples, simd);
     } else {
       std::vector<std::vector<std::vector<char>>> runs(count);
       for (std::size_t i = 0; i < count; ++i) {

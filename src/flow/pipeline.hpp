@@ -17,8 +17,9 @@
 //    under FlowContext::binding_hash(), so re-running a binding skips
 //    straight to simulate (tests/pipeline_cache_test.cpp).
 //  - run_batch: many stimulus seeds of one RunSpec share a single head
-//    pass, then ride simulate_runs' 64-seeds-per-word lanes
-//    (tests/experiment_batch_test.cpp).
+//    pass, then ride the word-parallel simulator's lanes — one seed per
+//    bit, 64 per word for the u64 backend and up to 512 under
+//    HLP_SIMD/avx512 (tests/experiment_batch_test.cpp).
 #pragma once
 
 #include <atomic>
@@ -54,6 +55,15 @@ struct RunSpec {
   /// bit-parallel batch engine is the default; the scalar event simulator
   /// is kept as the reference oracle (results are bit-identical).
   SimEngine sim_engine = SimEngine::kBatched;
+  /// Word width of the batched engine (ignored for kScalar). kAuto defers
+  /// to the HLP_SIMD env var and then picks per batch: the narrowest
+  /// CPU-supported backend that covers the lane demand (seed-group size /
+  /// frame count), up to the widest available — so a 64-seed group stays
+  /// on the u64 word and a 512-seed group rides avx512. Explicit modes
+  /// win over the env var. Every width is bit-identical — the knob only
+  /// changes how many stimulus lanes one netlist traversal settles (64
+  /// for u64, up to 512 for avx512).
+  SimdMode simd = SimdMode::kAuto;
   /// Consult the context's StageCache for the bind-fus..time artifacts
   /// (hits skip those stages; results are identical either way). Ignored —
   /// always off — on a pipeline whose pre-simulate stages were replace()d,
@@ -161,11 +171,13 @@ class Pipeline {
   /// Seed-batched run: the word-parallel fast path behind ExperimentRunner
   /// job coalescing. The stages before `simulate` run ONCE (stage-cache
   /// aware, custom overrides honoured), then the built-in simulate stage
-  /// evaluates every seed in `seeds` through simulate_runs — up to 64
-  /// stimulus seeds per machine word — and the post-simulate stages run
-  /// per seed. Outcome i is bit-identical to run() with spec.seed =
-  /// seeds[i]; spec.seed itself is ignored. A replace()d `simulate` stage
-  /// is NOT honoured here (the batch path owns stimulus generation).
+  /// evaluates every seed in `seeds` on the word-parallel simulator — one
+  /// stimulus seed per lane, with the lane count (64..512) chosen by
+  /// spec.simd / HLP_SIMD and seed groups chunked to the selected word
+  /// width — and the post-simulate stages run per seed. Outcome i is
+  /// bit-identical to run() with spec.seed = seeds[i] at ANY width;
+  /// spec.seed itself is ignored. A replace()d `simulate` stage is NOT
+  /// honoured here (the batch path owns stimulus generation).
   std::vector<PipelineOutcome> run_batch(
       FlowContext& ctx, const RunSpec& spec,
       const std::vector<std::uint64_t>& seeds) const;

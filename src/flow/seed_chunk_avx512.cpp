@@ -1,0 +1,17 @@
+// AVX-512 instantiation of the seed-chunk simulation (512 seeds per
+// __m512i word). Compiled with -mavx512f; reached only through runtime CPU
+// dispatch.
+#if defined(__AVX512F__)
+
+#include "flow/seed_chunk.hpp"
+
+namespace hlp::flow::detail {
+
+std::vector<CycleSimStats> simulate_seed_chunk_avx512(
+    const Netlist& n, const Datapath& dp, const LaneSamples& lane_samples) {
+  return simulate_seed_chunk_t<AvxWord512>(n, dp, lane_samples);
+}
+
+}  // namespace hlp::flow::detail
+
+#endif  // __AVX512F__

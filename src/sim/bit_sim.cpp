@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "common/error.hpp"
+#include "sim/bit_sim_isa.hpp"
 
 namespace hlp {
+
+namespace detail {
 
 namespace {
 
@@ -53,19 +57,21 @@ constexpr std::uint64_t kMaj3Tt = 0xE8;  // rows with >= 2 bits set
 
 }  // namespace
 
-BitSimulator::BitSimulator(const Netlist& n) : netlist_(&n) {
+GatePlan build_gate_plan(const Netlist& n) {
   n.validate();
+  GatePlan plan;
   const int num_nets = n.num_nets();
   const int num_gates = n.num_gates();
+  plan.num_nets = num_nets;
 
-  tt_bits_.resize(num_gates);
-  gates_.resize(num_gates);
-  in_start_.resize(num_gates + 1, 0);
+  plan.tt_bits.resize(num_gates);
+  plan.gates.resize(num_gates);
+  plan.in_start.resize(num_gates + 1, 0);
 
   std::vector<std::vector<NetId>> eval_ins(num_gates);
   for (int gi = 0; gi < num_gates; ++gi) {
     const Gate& g = n.gates()[gi];
-    PackedGate& pg = gates_[gi];
+    PackedGate& pg = plan.gates[gi];
     pg.out = g.out;
     std::uint64_t bits = g.tt.bits() & tt_mask(static_cast<int>(g.ins.size()));
     std::vector<NetId> ins = g.ins;
@@ -126,13 +132,13 @@ BitSimulator::BitSimulator(const Netlist& n) : netlist_(&n) {
       }
     }
 
-    tt_bits_[gi] = bits;
+    plan.tt_bits[gi] = bits;
     eval_ins[gi] = std::move(ins);
-    in_start_[gi + 1] = in_start_[gi] + k;
+    plan.in_start[gi + 1] = plan.in_start[gi] + k;
   }
-  in_nets_.reserve(in_start_[num_gates]);
+  plan.in_nets.reserve(plan.in_start[num_gates]);
   for (int gi = 0; gi < num_gates; ++gi)
-    for (NetId in : eval_ins[gi]) in_nets_.push_back(in);
+    for (NetId in : eval_ins[gi]) plan.in_nets.push_back(in);
 
   // Fanout CSR, deduped the same way as the scalar simulator (a gate
   // reading the same net twice re-evaluates once).
@@ -142,232 +148,41 @@ BitSimulator::BitSimulator(const Netlist& n) : netlist_(&n) {
       auto& v = fanout[in];
       if (v.empty() || v.back() != gi) v.push_back(gi);
     }
-  fan_start_.resize(num_nets + 1, 0);
+  plan.fan_start.resize(num_nets + 1, 0);
   for (NetId net = 0; net < num_nets; ++net)
-    fan_start_[net + 1] = fan_start_[net] + static_cast<int>(fanout[net].size());
-  fan_gates_.reserve(fan_start_[num_nets]);
+    plan.fan_start[net + 1] =
+        plan.fan_start[net] + static_cast<int>(fanout[net].size());
+  plan.fan_gates.reserve(plan.fan_start[num_nets]);
   for (NetId net = 0; net < num_nets; ++net)
-    fan_gates_.insert(fan_gates_.end(), fanout[net].begin(), fanout[net].end());
+    plan.fan_gates.insert(plan.fan_gates.end(), fanout[net].begin(),
+                          fanout[net].end());
 
-  topo_ = n.topo_gates();
-  value_.assign(num_nets, 0);
-  staged_.assign(num_nets, 0);
-  staged_dirty_.assign(num_nets, 0);
-  gate_queued_.assign(num_gates, 0);
+  plan.topo = n.topo_gates();
+  return plan;
 }
 
-void BitSimulator::load_state(const std::vector<std::uint64_t>& words) {
-  HLP_CHECK(words.size() == value_.size(), "state size mismatch");
-  value_ = words;
+ConeEvaluator::ConeEvaluator(const Netlist& n,
+                             const std::vector<int>& gate_ids) {
+  in_start.push_back(0);
+  for (int gi : gate_ids) {
+    const Gate& g = n.gates()[gi];
+    tt.push_back(g.tt.bits());
+    k.push_back(static_cast<int>(g.ins.size()));
+    out.push_back(g.out);
+    for (NetId in : g.ins) in_nets.push_back(in);
+    in_start.push_back(static_cast<int>(in_nets.size()));
+  }
 }
 
-void BitSimulator::stage_source(NetId n, std::uint64_t word) {
-  HLP_CHECK(netlist_->is_comb_source(n),
-            "net '" << netlist_->net_name(n) << "' is not a simulation source");
-  staged_[n] = word;
-  staged_dirty_[n] = 1;
+void ConeEvaluator::eval(std::vector<char>& value) const {
+  for (std::size_t i = 0; i < tt.size(); ++i) {
+    std::uint32_t m = 0;
+    for (int j = 0; j < k[i]; ++j)
+      m |= static_cast<std::uint32_t>(value[in_nets[in_start[i] + j]] & 1)
+           << j;
+    value[out[i]] = static_cast<char>((tt[i] >> m) & 1u);
+  }
 }
-
-std::uint64_t BitSimulator::eval_gate(int gi) const {
-  const PackedGate& g = gates_[gi];
-  // Datapaths are register files plus steering logic, so muxes dominate
-  // every mapped netlist we simulate (~80-90% of gates): give them a
-  // predicted direct branch instead of the switch's indirect jump.
-  if (g.op == kOpMux) {
-    const std::uint64_t s = value_[g.in[0]];
-    const std::uint64_t w = (value_[g.in[1]] & s) | (value_[g.in[2]] & ~s);
-    return g.inv ? ~w : w;
-  }
-  const std::uint64_t inv = g.inv ? ~0ull : 0ull;
-  switch (g.op) {
-    case kOpConst:
-      return inv;
-    case kOpBuf:
-      return value_[g.in[0]] ^ inv;
-    case kOpMaj: {
-      const std::uint64_t a = value_[g.in[0]], b = value_[g.in[1]],
-                          c = value_[g.in[2]];
-      return ((a & b) | ((a | b) & c)) ^ inv;
-    }
-    case kOpParity: {
-      std::uint64_t w = inv;
-      for (int j = 0; j < g.k; ++j) w ^= value_[g.in[j]];
-      return w;
-    }
-    case kOpAndPol: {
-      std::uint64_t w = ~0ull;
-      for (int j = 0; j < g.k; ++j)
-        w &= value_[g.in[j]] ^
-             (0 - static_cast<std::uint64_t>((g.pol >> j) & 1));
-      return w ^ inv;
-    }
-    case kOpShannon: {
-      // Shannon cofactor reduction of the reduced truth table, k <= 4:
-      // fold one input per level over the 2^k constant rows.
-      const int k = g.k;
-      std::uint64_t cof[16];
-      const std::uint32_t rows = 1u << k;
-      for (std::uint32_t m = 0; m < rows; ++m)
-        cof[m] = (g.tt >> m) & 1u ? ~0ull : 0ull;
-      for (int j = k - 1; j >= 0; --j) {
-        const std::uint64_t x = value_[g.in[j]];
-        const std::uint32_t half = 1u << j;
-        for (std::uint32_t i = 0; i < half; ++i)
-          cof[i] = (cof[i] & ~x) | (cof[i + half] & x);
-      }
-      return cof[0];
-    }
-    default:
-      break;
-  }
-  // k > 4 fallback: same fold over the CSR input list.
-  const int k = g.k;
-  std::uint64_t cof[64];
-  const std::uint64_t bits = tt_bits_[gi];
-  const std::uint32_t rows = 1u << k;
-  for (std::uint32_t m = 0; m < rows; ++m)
-    cof[m] = ((bits >> m) & 1u) ? ~0ull : 0ull;
-  const int base = in_start_[gi];
-  for (int j = k - 1; j >= 0; --j) {
-    const std::uint64_t x = value_[in_nets_[base + j]];
-    const std::uint32_t half = 1u << j;
-    for (std::uint32_t i = 0; i < half; ++i)
-      cof[i] = (cof[i] & ~x) | (cof[i + half] & x);
-  }
-  return cof[0];
-}
-
-void BitSimulator::settle_zero_delay() {
-  const int num_nets = static_cast<int>(value_.size());
-  for (NetId net = 0; net < num_nets; ++net) {
-    if (!staged_dirty_[net]) continue;
-    staged_dirty_[net] = 0;
-    value_[net] = staged_[net];
-  }
-  for (int gi : topo_) value_[gates_[gi].out] = eval_gate(gi);
-}
-
-template <typename OnChange>
-int BitSimulator::settle_events(OnChange&& on_change) {
-  const int num_nets = static_cast<int>(value_.size());
-  changed_.clear();
-  for (NetId net = 0; net < num_nets; ++net) {
-    if (!staged_dirty_[net]) continue;
-    staged_dirty_[net] = 0;
-    const std::uint64_t diff = value_[net] ^ staged_[net];
-    if (diff) {
-      value_[net] = staged_[net];
-      on_change(net, diff);
-      changed_.push_back(net);
-    }
-  }
-
-  int steps = 0;
-  const int max_steps = 4 * static_cast<int>(gates_.size()) + 8;
-  while (!changed_.empty()) {
-    ++steps;
-    HLP_CHECK(steps <= max_steps,
-              "bit-parallel simulation did not quiesce (oscillation?)");
-    dirty_gates_.clear();
-    for (NetId net : changed_)
-      for (int fi = fan_start_[net]; fi < fan_start_[net + 1]; ++fi) {
-        const int gi = fan_gates_[fi];
-        if (!gate_queued_[gi]) {
-          gate_queued_[gi] = 1;
-          dirty_gates_.push_back(gi);
-        }
-      }
-    // Evaluate with time-t words; outputs change at t+1 (two-pass, so the
-    // lockstep lanes see exactly the scalar event schedule).
-    new_words_.resize(dirty_gates_.size());
-    for (std::size_t i = 0; i < dirty_gates_.size(); ++i)
-      new_words_[i] = eval_gate(dirty_gates_[i]);
-    next_changed_.clear();
-    for (std::size_t i = 0; i < dirty_gates_.size(); ++i) {
-      const int gi = dirty_gates_[i];
-      gate_queued_[gi] = 0;
-      const NetId out = gates_[gi].out;
-      const std::uint64_t diff = value_[out] ^ new_words_[i];
-      if (diff) {
-        value_[out] = new_words_[i];
-        on_change(out, diff);
-        next_changed_.push_back(out);
-      }
-    }
-    std::swap(changed_, next_changed_);
-  }
-  return steps;
-}
-
-int BitSimulator::settle(std::vector<std::uint64_t>* toggles_total,
-                         std::vector<std::vector<std::uint64_t>>* per_lane) {
-  if (per_lane) {
-    return settle_events([&](NetId net, std::uint64_t diff) {
-      if (toggles_total)
-        (*toggles_total)[net] += static_cast<std::uint64_t>(std::popcount(diff));
-      while (diff) {
-        const int lane = std::countr_zero(diff);
-        diff &= diff - 1;
-        ++(*per_lane)[lane][net];
-      }
-    });
-  }
-  if (toggles_total) {
-    return settle_events([&](NetId net, std::uint64_t diff) {
-      (*toggles_total)[net] += static_cast<std::uint64_t>(std::popcount(diff));
-    });
-  }
-  return settle_events([](NetId, std::uint64_t) {});
-}
-
-int BitSimulator::settle_batch(LaneCounters& toggles,
-                               std::vector<NetId>& touched,
-                               std::vector<char>& touched_flag,
-                               std::vector<std::uint64_t>& before) {
-  return settle_events([&](NetId net, std::uint64_t diff) {
-    toggles.add(net, diff);
-    if (!touched_flag[net]) {
-      touched_flag[net] = 1;
-      // value_[net] was already updated; undo the diff for the pre-settle
-      // word (the first event sees the pre-edge settled value).
-      before[net] = value_[net] ^ diff;
-      touched.push_back(net);
-    }
-  });
-}
-
-namespace {
-
-// Scalar zero-delay gate evaluation for the phase-1 latch recurrence.
-struct ConeEvaluator {
-  std::vector<std::uint64_t> tt;
-  std::vector<int> k;
-  std::vector<NetId> out;
-  std::vector<int> in_start;
-  std::vector<NetId> in_nets;
-
-  explicit ConeEvaluator(const Netlist& n, const std::vector<int>& gate_ids) {
-    in_start.push_back(0);
-    for (int gi : gate_ids) {
-      const Gate& g = n.gates()[gi];
-      tt.push_back(g.tt.bits());
-      k.push_back(static_cast<int>(g.ins.size()));
-      out.push_back(g.out);
-      for (NetId in : g.ins) in_nets.push_back(in);
-      in_start.push_back(static_cast<int>(in_nets.size()));
-    }
-  }
-
-  void eval(std::vector<char>& value) const {
-    for (std::size_t i = 0; i < tt.size(); ++i) {
-      std::uint32_t m = 0;
-      for (int j = 0; j < k[i]; ++j)
-        m |= static_cast<std::uint32_t>(value[in_nets[in_start[i] + j]] & 1)
-             << j;
-      value[out[i]] = static_cast<char>((tt[i] >> m) & 1u);
-    }
-  }
-};
 
 void check_frame_arity(const Netlist& n,
                        const std::vector<std::vector<char>>& frames) {
@@ -377,203 +192,87 @@ void check_frame_arity(const Netlist& n,
                              << n.inputs().size() << " inputs");
 }
 
-}  // namespace
+}  // namespace detail
+
+// ---- runtime dispatch over the word width --------------------------------
+//
+// The portable widths instantiate here at baseline ISA; avx2/avx512 route
+// to the per-ISA TUs (bit_sim_isa.hpp). resolve_simd_mode() has already
+// rejected modes the build or CPU cannot honour, so the unreachable
+// HLP_CHECKs only guard against an enum/dispatch mismatch.
 
 CycleSimStats simulate_frames_batched(
-    const Netlist& n, const std::vector<std::vector<char>>& frames) {
-  check_frame_arity(n, frames);
-  const int num_nets = n.num_nets();
-  CycleSimStats stats;
-  stats.num_cycles = frames.size();
-  stats.toggles.assign(num_nets, 0);
-  const std::size_t T = frames.size();
-  if (T == 0) return stats;
-
-  BitSimulator sim(n);
-  // Initial settled state s0 (all sources 0): one zero-delay word pass with
-  // every lane identical, then read lane 0.
-  sim.settle_zero_delay();
-  std::vector<char> sval(num_nets);
-  for (NetId net = 0; net < num_nets; ++net)
-    sval[net] = static_cast<char>(sim.word(net) & 1u);
-  const std::vector<char> s0 = sval;
-
-  const auto& pis = n.inputs();
-  const auto& latches = n.latches();
-  std::vector<NetId> sources(pis);
-  for (const auto& l : latches) sources.push_back(l.q);
-
-  // Phase 1 — scalar latch-state recurrence. Only the fanin cone of the
-  // latch D pins must be evaluated per cycle; everything else is replayed
-  // word-parallel in phase 2. Source values per cycle are packed into one
-  // bit lane per cycle (64 cycles per word).
-  const std::size_t blocks = (T + 63) / 64;
-  std::vector<std::vector<std::uint64_t>> packed(
-      sources.size(), std::vector<std::uint64_t>(blocks, 0));
-  std::vector<char> need(num_nets, 0);
-  for (const auto& l : latches) need[l.d] = 1;
-  std::vector<int> cone;
-  const std::vector<int> topo = n.topo_gates();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    const Gate& g = n.gates()[*it];
-    if (!need[g.out]) continue;
-    cone.push_back(*it);
-    for (NetId in : g.ins) need[in] = 1;
+    const Netlist& n, const std::vector<std::vector<char>>& frames,
+    SimdMode simd) {
+  switch (resolve_simd_mode(simd)) {
+    case SimdMode::kU64:
+      return simulate_frames_batched_t<std::uint64_t>(n, frames);
+    case SimdMode::kX2:
+      return simulate_frames_batched_t<SimdX2>(n, frames);
+    case SimdMode::kX4:
+      return simulate_frames_batched_t<SimdX4>(n, frames);
+    case SimdMode::kX8:
+      return simulate_frames_batched_t<SimdX8>(n, frames);
+    case SimdMode::kAvx2:
+#if defined(HLP_HAVE_AVX2)
+      return detail::simulate_frames_batched_avx2(n, frames);
+#else
+      break;
+#endif
+    case SimdMode::kAvx512:
+#if defined(HLP_HAVE_AVX512)
+      return detail::simulate_frames_batched_avx512(n, frames);
+#else
+      break;
+#endif
+    case SimdMode::kAuto:
+      break;  // resolve_simd_mode never returns kAuto
   }
-  std::reverse(cone.begin(), cone.end());
-  const ConeEvaluator cone_eval(n, cone);
-
-  std::vector<char> qv(latches.size());
-  for (std::size_t t = 0; t < T; ++t) {
-    // Clock edge: every Q samples its D from the previous settled state,
-    // simultaneously (matching UnitDelaySimulator::clock_edge).
-    for (std::size_t i = 0; i < latches.size(); ++i) qv[i] = sval[latches[i].d];
-    for (std::size_t j = 0; j < pis.size(); ++j)
-      sval[pis[j]] = frames[t][j] ? 1 : 0;
-    for (std::size_t i = 0; i < latches.size(); ++i) sval[latches[i].q] = qv[i];
-    cone_eval.eval(sval);
-    for (std::size_t s = 0; s < sources.size(); ++s)
-      packed[s][t >> 6] |=
-          static_cast<std::uint64_t>(sval[sources[s]] & 1) << (t & 63);
-  }
-
-  // Phase 2 — word-parallel replay, 64 consecutive cycles per block. Lane l
-  // of block b is cycle b*64+l: a zero-delay pass over the source words
-  // yields every settled state at once; the initial state of each lane is
-  // the previous lane's settled state (shifted in, with a carry bit across
-  // blocks); a single event-driven unit-delay settle then reproduces all 64
-  // transients, glitches included.
-  std::vector<std::uint64_t> settled(num_nets), init(num_nets),
-      carry(num_nets, 0), src_words(sources.size());
-  std::uint64_t functional = 0;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const int L = static_cast<int>(std::min<std::size_t>(64, T - b * 64));
-    const std::uint64_t lowmask = L == 64 ? ~0ull : (1ull << L) - 1;
-    for (std::size_t s = 0; s < sources.size(); ++s) {
-      std::uint64_t w = packed[s][b];
-      if (L < 64) {
-        // Freeze inactive lanes by replicating the last active cycle's
-        // value: no source change, no activity, no miscounts.
-        if ((w >> (L - 1)) & 1)
-          w |= ~lowmask;
-        else
-          w &= lowmask;
-      }
-      src_words[s] = w;
-      sim.stage_source(sources[s], w);
-    }
-    sim.settle_zero_delay();
-    std::copy(sim.state().begin(), sim.state().end(), settled.begin());
-    for (NetId net = 0; net < num_nets; ++net) {
-      init[net] = (settled[net] << 1) |
-                  (b == 0 ? static_cast<std::uint64_t>(s0[net]) : carry[net]);
-      functional += static_cast<std::uint64_t>(
-          std::popcount(init[net] ^ settled[net]));
-      carry[net] = (settled[net] >> (L - 1)) & 1u;
-    }
-    sim.load_state(init);
-    for (std::size_t s = 0; s < sources.size(); ++s)
-      sim.stage_source(sources[s], src_words[s]);
-    sim.settle(&stats.toggles);
-  }
-
-  stats.functional_transitions = functional;
-  for (auto v : stats.toggles) stats.total_transitions += v;
-  return stats;
+  HLP_CHECK(false, "unreachable SIMD dispatch (frames)");
 }
 
 CycleSimStats simulate_frames(const Netlist& n,
                               const std::vector<std::vector<char>>& frames,
-                              SimEngine engine) {
-  return engine == SimEngine::kScalar ? simulate_frames(n, frames)
-                                      : simulate_frames_batched(n, frames);
+                              SimEngine engine, SimdMode simd) {
+  return engine == SimEngine::kScalar
+             ? simulate_frames(n, frames)
+             : simulate_frames_batched(n, frames, simd);
 }
 
 std::vector<CycleSimStats> simulate_batch(
-    const Netlist& n,
-    const std::vector<std::vector<std::vector<char>>>& runs) {
-  const int num_nets = n.num_nets();
-  for (const auto& run : runs) check_frame_arity(n, run);
-  std::vector<CycleSimStats> results(runs.size());
-  if (runs.empty()) return results;
-
-  BitSimulator sim(n);
-  const auto& pis = n.inputs();
-  const auto& latches = n.latches();
-
-  // Per-group scratch: bit-sliced counters keep every piece of per-lane
-  // accounting word-parallel — no loop in this function scales with the
-  // number of lanes that toggled.
-  std::vector<std::uint64_t> pi_bits(pis.size());
-  std::vector<NetId> touched;
-  std::vector<char> touched_flag(num_nets, 0);
-  std::vector<std::uint64_t> before(num_nets);
-  touched.reserve(num_nets);
-
-  for (std::size_t g0 = 0; g0 < runs.size(); g0 += BitSimulator::kLanes) {
-    const int lanes = static_cast<int>(
-        std::min<std::size_t>(BitSimulator::kLanes, runs.size() - g0));
-    // Reset to the all-zero-source settled state in every lane.
-    for (NetId pi : pis) sim.stage_source(pi, 0);
-    for (const auto& l : latches) sim.stage_source(l.q, 0);
-    sim.settle_zero_delay();
-
-    std::size_t t_max = 0;
-    for (int l = 0; l < lanes; ++l)
-      t_max = std::max(t_max, runs[g0 + l].size());
-    LaneCounters toggles(num_nets);
-    LaneCounters fn(1);
-
-    for (std::size_t t = 0; t < t_max; ++t) {
-      std::uint64_t active = 0;
-      for (int l = 0; l < lanes; ++l)
-        if (t < runs[g0 + l].size()) active |= 1ull << l;
-      // Stage everything from the pre-edge state before applying anything:
-      // primary inputs for active lanes (finished lanes are frozen by
-      // re-staging their current value), then the clock edge Q <- D.
-      // Lane-major gather: each lane's frame row is contiguous.
-      std::fill(pi_bits.begin(), pi_bits.end(), 0);
-      for (int l = 0; l < lanes; ++l) {
-        if (t >= runs[g0 + l].size()) continue;
-        const char* row = runs[g0 + l][t].data();
-        // Branchless: frame bits are random, so a conditional OR would
-        // mispredict half the time.
-        for (std::size_t j = 0; j < pis.size(); ++j)
-          pi_bits[j] |= static_cast<std::uint64_t>(row[j] & 1) << l;
-      }
-      for (std::size_t j = 0; j < pis.size(); ++j)
-        sim.stage_source(pis[j],
-                         (sim.word(pis[j]) & ~active) | (pi_bits[j] & active));
-      for (const auto& l : latches)
-        sim.stage_source(
-            l.q, (sim.word(l.d) & active) | (sim.word(l.q) & ~active));
-      sim.settle_batch(toggles, touched, touched_flag, before);
-      // Functional = settled value changed across the cycle; only nets
-      // that saw an event this cycle can have changed.
-      for (const NetId net : touched) {
-        touched_flag[net] = 0;
-        fn.add(0, before[net] ^ sim.word(net));
-      }
-      touched.clear();
-    }
-
-    for (int l = 0; l < lanes; ++l) {
-      CycleSimStats& st = results[g0 + l];
-      st.num_cycles = runs[g0 + l].size();
-      st.toggles.resize(num_nets);
-      for (NetId net = 0; net < num_nets; ++net)
-        st.toggles[net] = toggles.count(net, l);
-      st.functional_transitions = fn.count(0, l);
-      for (auto v : st.toggles) st.total_transitions += v;
-    }
+    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
+    SimdMode simd) {
+  switch (resolve_simd_mode(simd)) {
+    case SimdMode::kU64:
+      return simulate_batch_t<std::uint64_t>(n, runs);
+    case SimdMode::kX2:
+      return simulate_batch_t<SimdX2>(n, runs);
+    case SimdMode::kX4:
+      return simulate_batch_t<SimdX4>(n, runs);
+    case SimdMode::kX8:
+      return simulate_batch_t<SimdX8>(n, runs);
+    case SimdMode::kAvx2:
+#if defined(HLP_HAVE_AVX2)
+      return detail::simulate_batch_avx2(n, runs);
+#else
+      break;
+#endif
+    case SimdMode::kAvx512:
+#if defined(HLP_HAVE_AVX512)
+      return detail::simulate_batch_avx512(n, runs);
+#else
+      break;
+#endif
+    case SimdMode::kAuto:
+      break;
   }
-  return results;
+  HLP_CHECK(false, "unreachable SIMD dispatch (batch)");
 }
 
 std::vector<CycleSimStats> simulate_runs(
     const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
-    SimEngine engine) {
-  if (engine == SimEngine::kBatched) return simulate_batch(n, runs);
+    SimEngine engine, SimdMode simd) {
+  if (engine == SimEngine::kBatched) return simulate_batch(n, runs, simd);
   std::vector<CycleSimStats> results;
   results.reserve(runs.size());
   for (const auto& run : runs) results.push_back(simulate_frames(n, run));
@@ -582,7 +281,7 @@ std::vector<CycleSimStats> simulate_runs(
 
 std::vector<CycleSimStats> simulate_batch(
     const std::vector<const Netlist*>& netlists,
-    const std::vector<std::vector<char>>& frames) {
+    const std::vector<std::vector<char>>& frames, SimdMode simd) {
   for (const Netlist* n : netlists) {
     HLP_REQUIRE(n != nullptr, "null netlist in shared-stimulus batch");
     HLP_REQUIRE(n->inputs().size() == netlists.front()->inputs().size(),
@@ -591,7 +290,7 @@ std::vector<CycleSimStats> simulate_batch(
   std::vector<CycleSimStats> results;
   results.reserve(netlists.size());
   for (const Netlist* n : netlists)
-    results.push_back(simulate_frames_batched(*n, frames));
+    results.push_back(simulate_frames_batched(*n, frames, simd));
   return results;
 }
 

@@ -1,223 +1,112 @@
-// Bit-parallel batched simulation engine.
+// Bit-parallel batched simulation engine — public entry points.
 //
 // The scalar UnitDelaySimulator carries one `char` per net and walks the
 // netlist once per stimulus frame, so a 1000-vector Figure 3 run traverses
-// the fabric a thousand times. This engine packs 64 simulation lanes into
-// one `uint64_t` word per net and settles the combinational fabric on whole
-// words: every gate evaluation is a short Shannon-cofactor reduction of its
-// truth table over the input words, covering all 64 lanes at once, and
-// toggle counting is a popcount of the change word.
+// the fabric a thousand times. This engine packs many simulation lanes
+// into one machine word per net and settles the combinational fabric on
+// whole words: every gate evaluation is a short word-op sequence (or a
+// Shannon-cofactor reduction of its truth table) covering all lanes at
+// once, and toggle counting is a popcount of the change word.
 //
-// Two batching axes are provided, both bit-identical to the scalar path
-// (same per-net toggle counts, same functional/glitch split — asserted by
-// tests/bit_sim_test.cpp):
+// The engine itself is word-generic (bit_sim_engine.hpp): the same
+// algorithms run at 64 lanes per `uint64_t`, 128/256/512 lanes per
+// portable multi-limb word, or 256/512 lanes per AVX2/AVX-512 register.
+// The functions below select the backend with a SimdMode (simd_mode.hpp;
+// the HLP_SIMD env var and the flow pipeline's RunSpec/Job `simd` knob
+// feed it) behind runtime CPU dispatch — every backend is bit-identical
+// to the scalar path (asserted across widths by tests/bit_sim_test.cpp),
+// so the mode only changes wall-clock.
 //
-//  - simulate_frames_batched: ONE stimulus sequence, 64 consecutive cycles
-//    per word. Cycles are made independent by splitting the run into a
-//    cheap scalar phase that advances only the latch-state recurrence
-//    (zero-delay evaluation of the latch-D fanin cone) and a word-parallel
-//    phase that replays each 64-cycle block: a single topological pass
-//    yields all settled states, then one event-driven unit-delay settle on
-//    words reproduces every transient, glitches included.
+// Two batching axes are provided:
+//
+//  - simulate_frames_batched: ONE stimulus sequence, one word of
+//    consecutive cycles at a time. Cycles are made independent by
+//    splitting the run into a cheap scalar phase that advances only the
+//    latch-state recurrence (zero-delay evaluation of the latch-D fanin
+//    cone) and a word-parallel phase that replays each cycle block: a
+//    single topological pass yields all settled states, then one
+//    event-driven unit-delay settle on words reproduces every transient,
+//    glitches included.
 //
 //  - simulate_batch: MANY independent stimulus sequences (e.g. many seeds
 //    of one binding) as lanes. Latch state lives per lane inside the word,
 //    so the whole cycle loop — clock edge, settle, counting — is word
-//    parallel with no scalar phase at all. Runs may have different lengths;
-//    finished lanes are frozen by re-staging their previous source values.
+//    parallel with no scalar phase at all. Runs may have different
+//    lengths; finished lanes are frozen by re-staging their previous
+//    source values.
 //
 // A shared-stimulus overload evaluates many bindings' netlists against one
 // frame sequence (the paper's controlled comparison) through the batched
 // single-run path.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/bit_sim_engine.hpp"
 #include "sim/schedule_sim.hpp"
+#include "sim/simd_mode.hpp"
 
 namespace hlp {
 
 /// Which engine the flow pipeline / experiment runner evaluates stimulus
-/// with. The scalar path is kept as the reference oracle.
+/// with. The scalar path is kept as the reference oracle; the batched
+/// engine's word width is the orthogonal SimdMode axis.
 enum class SimEngine { kScalar, kBatched };
 
-/// Bit-sliced per-lane counters: plane p carries bit p of 64 independent
-/// counts, so `counts[item][lane] += (mask >> lane) & 1` for all 64 lanes
-/// is a short ripple-carry of word ops (amortised ~2 per add) instead of a
-/// per-set-bit scalar scatter. This is what keeps simulate_batch's
-/// per-run toggle accounting word-parallel: the increment cost no longer
-/// scales with the number of lanes that toggled. 32 planes bound each
-/// count at 2^32-1, far beyond any feasible run length.
-class LaneCounters {
- public:
-  static constexpr int kPlanes = 32;
+/// The 64-lane instantiations keep their pre-SIMD names: BitSimulator is
+/// the u64 reference word engine (one `uint64_t` per net), and the default
+/// backend of every simulate_* entry point below. Wider instantiations
+/// (BitSimulatorT<SimdX2>, BitSimulatorT<AvxWord256>, ...) are reached
+/// through the SimdMode parameters.
+using BitSimulator = BitSimulatorT<std::uint64_t>;
 
-  explicit LaneCounters(int num_items)
-      : bits_(static_cast<std::size_t>(num_items) * kPlanes, 0) {}
-
-  /// counts[item][lane] += (mask >> lane) & 1, all lanes at once.
-  void add(int item, std::uint64_t mask) {
-    std::uint64_t* p = &bits_[static_cast<std::size_t>(item) * kPlanes];
-    for (int i = 0; i < kPlanes && mask; ++i) {
-      const std::uint64_t old = p[i];
-      p[i] ^= mask;
-      mask &= old;  // carry into the next plane
-    }
-  }
-
-  std::uint64_t count(int item, int lane) const {
-    const std::uint64_t* p = &bits_[static_cast<std::size_t>(item) * kPlanes];
-    std::uint64_t total = 0;
-    for (int i = 0; i < kPlanes; ++i)
-      total |= ((p[i] >> lane) & 1u) << i;
-    return total;
-  }
-
- private:
-  std::vector<std::uint64_t> bits_;
-};
-
-/// Word-parallel netlist evaluator: 64 lanes per uint64_t, one word per
-/// net. Lane semantics (cycles vs runs) are chosen by the caller; the
-/// engine only knows about source words, zero-delay passes and unit-delay
-/// event settling with per-net popcount toggle counters.
-class BitSimulator {
- public:
-  static constexpr int kLanes = 64;
-
-  explicit BitSimulator(const Netlist& n);
-
-  const Netlist& netlist() const { return *netlist_; }
-  int num_nets() const { return static_cast<int>(value_.size()); }
-
-  /// Current value word of a net (bit l = lane l).
-  std::uint64_t word(NetId n) const { return value_[n]; }
-  /// Overwrite the value word of every net.
-  void load_state(const std::vector<std::uint64_t>& words);
-  const std::vector<std::uint64_t>& state() const { return value_; }
-
-  /// Stage a source word (primary input or latch Q) for the next settle.
-  void stage_source(NetId n, std::uint64_t word);
-
-  /// Single topological pass: every net takes its zero-delay value under
-  /// the staged sources. No toggle counting; staged marks are consumed.
-  void settle_zero_delay();
-
-  /// Unit-delay event settle from the staged sources, lockstep across all
-  /// 64 lanes. Per-net transition counts (summed over lanes) accumulate
-  /// into `toggles_total` when non-null. When `per_lane` is non-null it
-  /// receives one counter vector per lane, exactly matching what 64
-  /// independent scalar simulations would count. Returns unit steps to
-  /// quiescence (the max over lanes).
-  int settle(std::vector<std::uint64_t>* toggles_total,
-             std::vector<std::vector<std::uint64_t>>* per_lane = nullptr);
-
-  /// Unit-delay settle specialised for the multi-run batch path: per-net
-  /// per-lane transition counts accumulate into `toggles` (bit-sliced, no
-  /// per-lane scatter), and every net whose value changed is appended once
-  /// to `touched` with its pre-settle word stored in `before` — the
-  /// caller derives the functional/glitch split from before vs settled
-  /// without scanning or snapshotting the whole net array per cycle.
-  /// `touched_flag` is the dedupe scratch (num_nets zeros on entry; the
-  /// caller resets the touched entries afterwards).
-  int settle_batch(LaneCounters& toggles, std::vector<NetId>& touched,
-                   std::vector<char>& touched_flag,
-                   std::vector<std::uint64_t>& before);
-
-  /// Evaluate one gate's function over the current value words. Gates are
-  /// classified at construction: the overwhelmingly common datapath
-  /// functions (mux, parity, majority, and/or with polarities, buffers)
-  /// evaluate in 2-5 word ops; everything else falls back to a Shannon
-  /// cofactor reduction of the (support-reduced) truth table. All paths
-  /// compute the identical boolean function, so values — and therefore
-  /// event schedules and glitch counts — are bit-identical to the
-  /// reference.
-  std::uint64_t eval_gate(int gate_index) const;
-
- private:
-  /// Specialised evaluator selected per gate at construction.
-  enum GateOp : std::uint8_t {
-    kOpShannon,  // generic fallback, k <= 4 (inputs in the packed record)
-    kOpShannonBig,  // generic fallback, k > 4 (inputs in the CSR)
-    kOpConst,    // constant 0 / ~0 (inv flag)
-    kOpBuf,      // x or ~x
-    kOpParity,   // x0 ^ x1 ^ ... (^ inv)
-    kOpAndPol,   // AND_j (x_j ^ pol_j) (^ inv) — covers AND/OR/NAND/NOR
-    kOpMux,      // s ? a : b (^ inv)
-    kOpMaj,      // majority(a, b, c) (^ inv)
-  };
-
-  /// Everything one gate evaluation reads, in one 32-byte record (the
-  /// settle loop is memory-bound; scattering this over parallel arrays
-  /// costs several cache lines per eval). Inputs are support-reduced.
-  struct PackedGate {
-    std::uint8_t op = kOpShannon;
-    std::uint8_t inv = 0;   // final inversion flag
-    std::uint8_t pol = 0;   // kOpAndPol input polarity bits
-    std::uint8_t k = 0;     // fanin count after support reduction
-    std::uint32_t tt = 0;   // reduced truth table (k <= 4 fits 16 rows)
-    NetId out = 0;
-    NetId in[4] = {0, 0, 0, 0};  // operands (kOpMux: select, then-, else-)
-  };
-
-  template <typename OnChange>
-  int settle_events(OnChange&& on_change);
-
-  const Netlist* netlist_;
-  std::vector<PackedGate> gates_;
-  // CSR input lists, used only by the k > 4 Shannon fallback.
-  std::vector<std::uint64_t> tt_bits_;
-  std::vector<int> in_start_;    // gate -> offset into in_nets_
-  std::vector<NetId> in_nets_;
-  std::vector<int> fan_start_;   // net -> offset into fan_gates_
-  std::vector<int> fan_gates_;
-  std::vector<int> topo_;
-
-  std::vector<std::uint64_t> value_;
-  std::vector<std::uint64_t> staged_;
-  std::vector<char> staged_dirty_;
-  // Scratch for the event loop (persistent to avoid per-settle allocation).
-  std::vector<char> gate_queued_;
-  std::vector<int> dirty_gates_;
-  std::vector<std::uint64_t> new_words_;
-  std::vector<NetId> changed_, next_changed_;
-};
+/// Bit-sliced per-lane counters at the reference 64-lane width (see
+/// LaneCountersT for the word-generic contract).
+using LaneCounters = LaneCountersT<std::uint64_t>;
 
 /// Batched drop-in for simulate_frames: same stimulus semantics, same
-/// result, 64 cycles per word. `frames[t]` holds one bit per primary input
-/// in netlist input order.
+/// result, one word of consecutive cycles at a time (64 for the default
+/// u64 backend, up to 512 under HLP_SIMD/avx512). `frames[t]` holds one
+/// bit per primary input in netlist input order. `simd` must resolve
+/// (resolve_simd_mode) — kAuto picks the widest CPU-supported backend.
 CycleSimStats simulate_frames_batched(
-    const Netlist& n, const std::vector<std::vector<char>>& frames);
+    const Netlist& n, const std::vector<std::vector<char>>& frames,
+    SimdMode simd = SimdMode::kU64);
 
-/// Dispatch helper: scalar reference path or the batched engine.
+/// Dispatch helper: scalar reference path or the batched engine at the
+/// requested word width (ignored for kScalar).
 CycleSimStats simulate_frames(const Netlist& n,
                               const std::vector<std::vector<char>>& frames,
-                              SimEngine engine);
+                              SimEngine engine,
+                              SimdMode simd = SimdMode::kU64);
 
-/// Many independent stimulus sequences through one netlist, 64 runs per
-/// word. Returns one CycleSimStats per run, bit-identical to running
-/// simulate_frames(n, runs[i]) separately. Run lengths may differ.
+/// Many independent stimulus sequences through one netlist, one run per
+/// lane (64 per word for u64, up to 512 under avx512). Returns one
+/// CycleSimStats per run, bit-identical to running simulate_frames(n,
+/// runs[i]) separately at any width. Run lengths may differ.
 std::vector<CycleSimStats> simulate_batch(
-    const Netlist& n,
-    const std::vector<std::vector<std::vector<char>>>& runs);
+    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
+    SimdMode simd = SimdMode::kU64);
 
 /// Group-dispatch helper for the seed-coalescing experiment path: many
 /// stimulus sequences through one netlist under either engine. The scalar
 /// reference loops simulate_frames per run; the batched engine rides
-/// simulate_batch's multi-run lanes (64 runs per word). Results are
-/// bit-identical across engines, and to per-run simulate_frames calls.
+/// simulate_batch's multi-run lanes at the requested word width. Results
+/// are bit-identical across engines and widths, and to per-run
+/// simulate_frames calls.
 std::vector<CycleSimStats> simulate_runs(
     const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
-    SimEngine engine);
+    SimEngine engine, SimdMode simd = SimdMode::kU64);
 
 /// Many bindings' netlists sharing one stimulus (the paper's controlled
-/// comparison): each netlist is evaluated with the batched single-run path.
-/// All netlists must have the same number of primary inputs.
+/// comparison): each netlist is evaluated with the batched single-run path
+/// at the requested word width. All netlists must have the same number of
+/// primary inputs.
 std::vector<CycleSimStats> simulate_batch(
     const std::vector<const Netlist*>& netlists,
-    const std::vector<std::vector<char>>& frames);
+    const std::vector<std::vector<char>>& frames,
+    SimdMode simd = SimdMode::kU64);
 
 }  // namespace hlp

@@ -1,0 +1,585 @@
+// Word-generic bit-parallel simulation engine.
+//
+// Everything here is templated on a Word type (see simd_word.hpp): one
+// word per net, one simulation lane per bit, so BitSimulatorT<uint64_t>
+// settles 64 lanes per traversal and BitSimulatorT<AvxWord512> settles
+// 512. The algorithms are pure lane-wise boolean algebra plus popcounts,
+// so every instantiation computes the identical per-lane function — the
+// width only changes how many lanes one traversal covers.
+//
+// The public entry points (bit_sim.hpp) wrap these templates behind the
+// HLP_SIMD runtime dispatch; the per-ISA translation units
+// (bit_sim_avx2.cpp, bit_sim_avx512.cpp) instantiate them for the
+// intrinsic word types. Gate classification is word-independent and lives
+// in one non-template GatePlan built once per netlist (bit_sim.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/schedule_sim.hpp"
+#include "sim/simd_word.hpp"
+
+namespace hlp {
+
+namespace detail {
+
+/// Specialised evaluator selected per gate at construction.
+enum GateOp : std::uint8_t {
+  kOpShannon,     // generic fallback, k <= 4 (inputs in the packed record)
+  kOpShannonBig,  // generic fallback, k > 4 (inputs in the CSR)
+  kOpConst,       // constant 0 / ~0 (inv flag)
+  kOpBuf,         // x or ~x
+  kOpParity,      // x0 ^ x1 ^ ... (^ inv)
+  kOpAndPol,      // AND_j (x_j ^ pol_j) (^ inv) — covers AND/OR/NAND/NOR
+  kOpMux,         // s ? a : b (^ inv)
+  kOpMaj,         // majority(a, b, c) (^ inv)
+};
+
+/// Everything one gate evaluation reads, in one 32-byte record (the settle
+/// loop is memory-bound; scattering this over parallel arrays costs
+/// several cache lines per eval). Inputs are support-reduced.
+struct PackedGate {
+  std::uint8_t op = kOpShannon;
+  std::uint8_t inv = 0;  // final inversion flag
+  std::uint8_t pol = 0;  // kOpAndPol input polarity bits
+  std::uint8_t k = 0;    // fanin count after support reduction
+  std::uint32_t tt = 0;  // reduced truth table (k <= 4 fits 16 rows)
+  NetId out = 0;
+  NetId in[4] = {0, 0, 0, 0};  // operands (kOpMux: select, then-, else-)
+};
+
+/// The word-independent half of the engine: classified gates, CSR
+/// input/fanout lists and the topological order. Built once per netlist
+/// and shared by every word-width instantiation.
+struct GatePlan {
+  std::vector<PackedGate> gates;
+  // Full truth tables + CSR input lists, used only by the k > 4 fallback.
+  std::vector<std::uint64_t> tt_bits;
+  std::vector<int> in_start;   // gate -> offset into in_nets
+  std::vector<NetId> in_nets;
+  std::vector<int> fan_start;  // net -> offset into fan_gates
+  std::vector<int> fan_gates;
+  std::vector<int> topo;
+  int num_nets = 0;
+};
+
+/// Classify every gate and build the CSR structures (validates the
+/// netlist). Defined in bit_sim.cpp — word-independent, compiled once at
+/// baseline ISA.
+GatePlan build_gate_plan(const Netlist& n);
+
+/// Scalar zero-delay evaluator for the frames path's latch-state
+/// recurrence (phase 1). Word-independent; defined in bit_sim.cpp.
+struct ConeEvaluator {
+  std::vector<std::uint64_t> tt;
+  std::vector<int> k;
+  std::vector<NetId> out;
+  std::vector<int> in_start;
+  std::vector<NetId> in_nets;
+
+  ConeEvaluator(const Netlist& n, const std::vector<int>& gate_ids);
+  void eval(std::vector<char>& value) const;
+};
+
+void check_frame_arity(const Netlist& n,
+                       const std::vector<std::vector<char>>& frames);
+
+}  // namespace detail
+
+/// Bit-sliced per-lane counters over an arbitrary word width: plane p
+/// carries bit p of WordTraits<W>::kLanes independent counts, so
+/// `counts[item][lane] += (mask >> lane) & 1` for every lane is a short
+/// ripple-carry of word ops (amortised ~2 per add) instead of a
+/// per-set-bit scalar scatter. This is what keeps the multi-run batch
+/// path's toggle accounting word-parallel at any width: the increment cost
+/// never scales with the number of lanes that toggled. 32 planes bound
+/// each count at 2^32-1, far beyond any feasible run length.
+template <typename W>
+class LaneCountersT {
+  using T = WordTraits<W>;
+
+ public:
+  static constexpr int kPlanes = 32;
+
+  explicit LaneCountersT(int num_items)
+      : bits_(static_cast<std::size_t>(num_items) * kPlanes, T::zero()) {}
+
+  /// counts[item][lane] += (mask >> lane) & 1, all lanes at once.
+  void add(int item, W mask) {
+    W* p = &bits_[static_cast<std::size_t>(item) * kPlanes];
+    for (int i = 0; i < kPlanes && T::any(mask); ++i) {
+      const W old = p[i];
+      p[i] = p[i] ^ mask;
+      mask = mask & old;  // carry into the next plane
+    }
+  }
+
+  std::uint64_t count(int item, int lane) const {
+    const W* p = &bits_[static_cast<std::size_t>(item) * kPlanes];
+    std::uint64_t total = 0;
+    for (int i = 0; i < kPlanes; ++i)
+      total |= static_cast<std::uint64_t>(T::lane(p[i], lane)) << i;
+    return total;
+  }
+
+ private:
+  std::vector<W> bits_;
+};
+
+/// Word-parallel netlist evaluator: WordTraits<W>::kLanes lanes per word,
+/// one word per net. Lane semantics (cycles vs runs vs seeds) are chosen
+/// by the caller; the engine only knows about source words, zero-delay
+/// passes and unit-delay event settling with per-net popcount toggle
+/// counters. All instantiations are bit-identical per lane to the scalar
+/// reference simulator.
+template <typename W>
+class BitSimulatorT {
+  using T = WordTraits<W>;
+
+ public:
+  /// Simulation lanes per word — the batch granularity of this engine.
+  static constexpr int kLanes = T::kLanes;
+
+  explicit BitSimulatorT(const Netlist& n)
+      : netlist_(&n), plan_(detail::build_gate_plan(n)) {
+    value_.assign(plan_.num_nets, T::zero());
+    staged_.assign(plan_.num_nets, T::zero());
+    staged_dirty_.assign(plan_.num_nets, 0);
+    gate_queued_.assign(plan_.gates.size(), 0);
+  }
+
+  const Netlist& netlist() const { return *netlist_; }
+  int num_nets() const { return static_cast<int>(value_.size()); }
+
+  /// Current value word of a net (bit l = lane l).
+  W word(NetId n) const { return value_[n]; }
+  /// Overwrite the value word of every net.
+  void load_state(const std::vector<W>& words) {
+    HLP_CHECK(words.size() == value_.size(), "state size mismatch");
+    value_ = words;
+  }
+  const std::vector<W>& state() const { return value_; }
+
+  /// Stage a source word (primary input or latch Q) for the next settle.
+  void stage_source(NetId n, W word) {
+    HLP_CHECK(netlist_->is_comb_source(n),
+              "net '" << netlist_->net_name(n)
+                      << "' is not a simulation source");
+    staged_[n] = word;
+    staged_dirty_[n] = 1;
+  }
+
+  /// Single topological pass: every net takes its zero-delay value under
+  /// the staged sources. No toggle counting; staged marks are consumed.
+  void settle_zero_delay() {
+    const int num_nets = static_cast<int>(value_.size());
+    for (NetId net = 0; net < num_nets; ++net) {
+      if (!staged_dirty_[net]) continue;
+      staged_dirty_[net] = 0;
+      value_[net] = staged_[net];
+    }
+    for (int gi : plan_.topo) value_[plan_.gates[gi].out] = eval_gate(gi);
+  }
+
+  /// Unit-delay event settle from the staged sources, lockstep across all
+  /// lanes. Per-net transition counts (summed over lanes) accumulate into
+  /// `toggles_total` when non-null. When `per_lane` is non-null it
+  /// receives one counter vector per lane (kLanes of them), exactly
+  /// matching what kLanes independent scalar simulations would count.
+  /// Returns unit steps to quiescence (the max over lanes).
+  int settle(std::vector<std::uint64_t>* toggles_total,
+             std::vector<std::vector<std::uint64_t>>* per_lane = nullptr) {
+    if (per_lane) {
+      return settle_events([&](NetId net, const W& diff) {
+        if (toggles_total)
+          (*toggles_total)[net] +=
+              static_cast<std::uint64_t>(T::popcount(diff));
+        T::for_each_lane(diff, [&](int lane) { ++(*per_lane)[lane][net]; });
+      });
+    }
+    if (toggles_total) {
+      return settle_events([&](NetId net, const W& diff) {
+        (*toggles_total)[net] += static_cast<std::uint64_t>(T::popcount(diff));
+      });
+    }
+    return settle_events([](NetId, const W&) {});
+  }
+
+  /// Unit-delay settle specialised for the multi-run batch path: per-net
+  /// per-lane transition counts accumulate into `toggles` (bit-sliced, no
+  /// per-lane scatter), and every net whose value changed is appended once
+  /// to `touched` with its pre-settle word stored in `before` — the caller
+  /// derives the functional/glitch split from before vs settled without
+  /// scanning or snapshotting the whole net array per cycle. `touched_flag`
+  /// is the dedupe scratch (num_nets zeros on entry; the caller resets the
+  /// touched entries afterwards).
+  int settle_batch(LaneCountersT<W>& toggles, std::vector<NetId>& touched,
+                   std::vector<char>& touched_flag, std::vector<W>& before) {
+    return settle_events([&](NetId net, const W& diff) {
+      toggles.add(net, diff);
+      if (!touched_flag[net]) {
+        touched_flag[net] = 1;
+        // value_[net] was already updated; undo the diff for the
+        // pre-settle word (the first event sees the pre-edge settled
+        // value).
+        before[net] = value_[net] ^ diff;
+        touched.push_back(net);
+      }
+    });
+  }
+
+  /// Evaluate one gate's function over the current value words. Gates are
+  /// classified at construction (see GatePlan): the overwhelmingly common
+  /// datapath functions (mux, parity, majority, and/or with polarities,
+  /// buffers) evaluate in 2-5 word ops; everything else falls back to a
+  /// Shannon cofactor reduction of the (support-reduced) truth table. All
+  /// paths compute the identical boolean function, so values — and
+  /// therefore event schedules and glitch counts — are bit-identical to
+  /// the reference at every word width.
+  W eval_gate(int gi) const {
+    const detail::PackedGate& g = plan_.gates[gi];
+    // Datapaths are register files plus steering logic, so muxes dominate
+    // every mapped netlist we simulate (~80-90% of gates): give them a
+    // predicted direct branch instead of the switch's indirect jump.
+    if (g.op == detail::kOpMux) {
+      const W s = value_[g.in[0]];
+      const W w = (value_[g.in[1]] & s) | (value_[g.in[2]] & ~s);
+      return g.inv ? ~w : w;
+    }
+    const W inv = T::fill(g.inv != 0);
+    switch (g.op) {
+      case detail::kOpConst:
+        return inv;
+      case detail::kOpBuf:
+        return value_[g.in[0]] ^ inv;
+      case detail::kOpMaj: {
+        const W a = value_[g.in[0]], b = value_[g.in[1]], c = value_[g.in[2]];
+        return ((a & b) | ((a | b) & c)) ^ inv;
+      }
+      case detail::kOpParity: {
+        W w = inv;
+        for (int j = 0; j < g.k; ++j) w = w ^ value_[g.in[j]];
+        return w;
+      }
+      case detail::kOpAndPol: {
+        W w = T::ones();
+        for (int j = 0; j < g.k; ++j)
+          w = w & (value_[g.in[j]] ^ T::fill(((g.pol >> j) & 1) != 0));
+        return w ^ inv;
+      }
+      case detail::kOpShannon: {
+        // Shannon cofactor reduction of the reduced truth table, k <= 4:
+        // fold one input per level over the 2^k constant rows.
+        const int k = g.k;
+        W cof[16];
+        const std::uint32_t rows = 1u << k;
+        for (std::uint32_t m = 0; m < rows; ++m)
+          cof[m] = T::fill(((g.tt >> m) & 1u) != 0);
+        for (int j = k - 1; j >= 0; --j) {
+          const W x = value_[g.in[j]];
+          const std::uint32_t half = 1u << j;
+          for (std::uint32_t i = 0; i < half; ++i)
+            cof[i] = (cof[i] & ~x) | (cof[i + half] & x);
+        }
+        return cof[0];
+      }
+      default:
+        break;
+    }
+    // k > 4 fallback: same fold over the CSR input list.
+    const int k = g.k;
+    W cof[64];
+    const std::uint64_t bits = plan_.tt_bits[gi];
+    const std::uint32_t rows = 1u << k;
+    for (std::uint32_t m = 0; m < rows; ++m)
+      cof[m] = T::fill(((bits >> m) & 1u) != 0);
+    const int base = plan_.in_start[gi];
+    for (int j = k - 1; j >= 0; --j) {
+      const W x = value_[plan_.in_nets[base + j]];
+      const std::uint32_t half = 1u << j;
+      for (std::uint32_t i = 0; i < half; ++i)
+        cof[i] = (cof[i] & ~x) | (cof[i + half] & x);
+    }
+    return cof[0];
+  }
+
+ private:
+  template <typename OnChange>
+  int settle_events(OnChange&& on_change) {
+    const int num_nets = static_cast<int>(value_.size());
+    changed_.clear();
+    for (NetId net = 0; net < num_nets; ++net) {
+      if (!staged_dirty_[net]) continue;
+      staged_dirty_[net] = 0;
+      const W diff = value_[net] ^ staged_[net];
+      if (T::any(diff)) {
+        value_[net] = staged_[net];
+        on_change(net, diff);
+        changed_.push_back(net);
+      }
+    }
+
+    int steps = 0;
+    const int max_steps = 4 * static_cast<int>(plan_.gates.size()) + 8;
+    while (!changed_.empty()) {
+      ++steps;
+      HLP_CHECK(steps <= max_steps,
+                "bit-parallel simulation did not quiesce (oscillation?)");
+      dirty_gates_.clear();
+      for (NetId net : changed_)
+        for (int fi = plan_.fan_start[net]; fi < plan_.fan_start[net + 1];
+             ++fi) {
+          const int gi = plan_.fan_gates[fi];
+          if (!gate_queued_[gi]) {
+            gate_queued_[gi] = 1;
+            dirty_gates_.push_back(gi);
+          }
+        }
+      // Evaluate with time-t words; outputs change at t+1 (two-pass, so
+      // the lockstep lanes see exactly the scalar event schedule).
+      new_words_.resize(dirty_gates_.size());
+      for (std::size_t i = 0; i < dirty_gates_.size(); ++i)
+        new_words_[i] = eval_gate(dirty_gates_[i]);
+      next_changed_.clear();
+      for (std::size_t i = 0; i < dirty_gates_.size(); ++i) {
+        const int gi = dirty_gates_[i];
+        gate_queued_[gi] = 0;
+        const NetId out = plan_.gates[gi].out;
+        const W diff = value_[out] ^ new_words_[i];
+        if (T::any(diff)) {
+          value_[out] = new_words_[i];
+          on_change(out, diff);
+          next_changed_.push_back(out);
+        }
+      }
+      std::swap(changed_, next_changed_);
+    }
+    return steps;
+  }
+
+  const Netlist* netlist_;
+  detail::GatePlan plan_;
+
+  std::vector<W> value_;
+  std::vector<W> staged_;
+  std::vector<char> staged_dirty_;
+  // Scratch for the event loop (persistent to avoid per-settle allocation).
+  std::vector<char> gate_queued_;
+  std::vector<int> dirty_gates_;
+  std::vector<W> new_words_;
+  std::vector<NetId> changed_, next_changed_;
+};
+
+/// Word-generic simulate_frames_batched: ONE stimulus sequence, kLanes
+/// consecutive cycles per word. A cheap scalar phase advances only the
+/// latch-state recurrence (zero-delay evaluation of the latch-D fanin
+/// cone); the word-parallel phase replays each kLanes-cycle block — a
+/// single topological pass yields all settled states, then one
+/// event-driven unit-delay settle reproduces every transient, glitches
+/// included. Bit-identical to the scalar path at every width.
+template <typename W>
+CycleSimStats simulate_frames_batched_t(
+    const Netlist& n, const std::vector<std::vector<char>>& frames) {
+  using T = WordTraits<W>;
+  constexpr int kLanes = T::kLanes;
+  detail::check_frame_arity(n, frames);
+  const int num_nets = n.num_nets();
+  CycleSimStats stats;
+  stats.num_cycles = frames.size();
+  stats.toggles.assign(num_nets, 0);
+  const std::size_t num_frames = frames.size();
+  if (num_frames == 0) return stats;
+
+  BitSimulatorT<W> sim(n);
+  // Initial settled state s0 (all sources 0): one zero-delay word pass
+  // with every lane identical, then read lane 0.
+  sim.settle_zero_delay();
+  std::vector<char> sval(num_nets);
+  for (NetId net = 0; net < num_nets; ++net)
+    sval[net] = static_cast<char>(T::lane(sim.word(net), 0));
+  const std::vector<char> s0 = sval;
+
+  const auto& pis = n.inputs();
+  const auto& latches = n.latches();
+  std::vector<NetId> sources(pis);
+  for (const auto& l : latches) sources.push_back(l.q);
+
+  // Phase 1 — scalar latch-state recurrence. Only the fanin cone of the
+  // latch D pins must be evaluated per cycle; everything else is replayed
+  // word-parallel in phase 2. Source values per cycle are packed into one
+  // bit lane per cycle (kLanes cycles per word).
+  const std::size_t blocks = (num_frames + kLanes - 1) / kLanes;
+  std::vector<std::vector<W>> packed(sources.size(),
+                                     std::vector<W>(blocks, T::zero()));
+  std::vector<char> need(num_nets, 0);
+  for (const auto& l : latches) need[l.d] = 1;
+  std::vector<int> cone;
+  const std::vector<int> topo = n.topo_gates();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const Gate& g = n.gates()[*it];
+    if (!need[g.out]) continue;
+    cone.push_back(*it);
+    for (NetId in : g.ins) need[in] = 1;
+  }
+  std::reverse(cone.begin(), cone.end());
+  const detail::ConeEvaluator cone_eval(n, cone);
+
+  std::vector<char> qv(latches.size());
+  for (std::size_t t = 0; t < num_frames; ++t) {
+    // Clock edge: every Q samples its D from the previous settled state,
+    // simultaneously (matching UnitDelaySimulator::clock_edge).
+    for (std::size_t i = 0; i < latches.size(); ++i)
+      qv[i] = sval[latches[i].d];
+    for (std::size_t j = 0; j < pis.size(); ++j)
+      sval[pis[j]] = frames[t][j] ? 1 : 0;
+    for (std::size_t i = 0; i < latches.size(); ++i)
+      sval[latches[i].q] = qv[i];
+    cone_eval.eval(sval);
+    for (std::size_t s = 0; s < sources.size(); ++s)
+      T::or_lane(packed[s][t / kLanes],
+                 static_cast<int>(t % kLanes),
+                 static_cast<std::uint64_t>(sval[sources[s]] & 1));
+  }
+
+  // Phase 2 — word-parallel replay, kLanes consecutive cycles per block.
+  // Lane l of block b is cycle b*kLanes+l: a zero-delay pass over the
+  // source words yields every settled state at once; the initial state of
+  // each lane is the previous lane's settled state (shifted in, with a
+  // carry bit across blocks); a single event-driven unit-delay settle then
+  // reproduces all transients, glitches included.
+  std::vector<W> settled(num_nets), init(num_nets), src_words(sources.size());
+  std::vector<char> carry(num_nets, 0);
+  std::uint64_t functional = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const int L = static_cast<int>(
+        std::min<std::size_t>(kLanes, num_frames - b * kLanes));
+    const W lowmask = T::mask_lo(L);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      W w = packed[s][b];
+      if (L < kLanes) {
+        // Freeze inactive lanes by replicating the last active cycle's
+        // value: no source change, no activity, no miscounts.
+        if (T::lane(w, L - 1))
+          w = w | ~lowmask;
+        else
+          w = w & lowmask;
+      }
+      src_words[s] = w;
+      sim.stage_source(sources[s], w);
+    }
+    sim.settle_zero_delay();
+    std::copy(sim.state().begin(), sim.state().end(), settled.begin());
+    for (NetId net = 0; net < num_nets; ++net) {
+      init[net] = T::shl1(settled[net], b == 0 ? s0[net] : carry[net]);
+      functional +=
+          static_cast<std::uint64_t>(T::popcount(init[net] ^ settled[net]));
+      carry[net] = static_cast<char>(T::lane(settled[net], L - 1));
+    }
+    sim.load_state(init);
+    for (std::size_t s = 0; s < sources.size(); ++s)
+      sim.stage_source(sources[s], src_words[s]);
+    sim.settle(&stats.toggles);
+  }
+
+  stats.functional_transitions = functional;
+  for (auto v : stats.toggles) stats.total_transitions += v;
+  return stats;
+}
+
+/// Word-generic simulate_batch: MANY independent stimulus sequences (e.g.
+/// many seeds of one binding) as lanes, kLanes runs per word. Latch state
+/// lives per lane inside the word, so the whole cycle loop — clock edge,
+/// settle, counting — is word-parallel with no scalar phase at all. Runs
+/// may have different lengths; finished lanes are frozen by re-staging
+/// their previous source values. Bit-identical to per-run scalar
+/// simulation at every width.
+template <typename W>
+std::vector<CycleSimStats> simulate_batch_t(
+    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs) {
+  using T = WordTraits<W>;
+  constexpr int kLanes = T::kLanes;
+  const int num_nets = n.num_nets();
+  for (const auto& run : runs) detail::check_frame_arity(n, run);
+  std::vector<CycleSimStats> results(runs.size());
+  if (runs.empty()) return results;
+
+  BitSimulatorT<W> sim(n);
+  const auto& pis = n.inputs();
+  const auto& latches = n.latches();
+
+  // Per-group scratch: bit-sliced counters keep every piece of per-lane
+  // accounting word-parallel — no loop in this function scales with the
+  // number of lanes that toggled.
+  std::vector<W> pi_bits(pis.size());
+  std::vector<NetId> touched;
+  std::vector<char> touched_flag(num_nets, 0);
+  std::vector<W> before(num_nets);
+  touched.reserve(num_nets);
+
+  for (std::size_t g0 = 0; g0 < runs.size(); g0 += kLanes) {
+    const int lanes =
+        static_cast<int>(std::min<std::size_t>(kLanes, runs.size() - g0));
+    // Reset to the all-zero-source settled state in every lane.
+    for (NetId pi : pis) sim.stage_source(pi, T::zero());
+    for (const auto& l : latches) sim.stage_source(l.q, T::zero());
+    sim.settle_zero_delay();
+
+    std::size_t t_max = 0;
+    for (int l = 0; l < lanes; ++l)
+      t_max = std::max(t_max, runs[g0 + l].size());
+    LaneCountersT<W> toggles(num_nets);
+    LaneCountersT<W> fn(1);
+
+    for (std::size_t t = 0; t < t_max; ++t) {
+      W active = T::zero();
+      for (int l = 0; l < lanes; ++l)
+        if (t < runs[g0 + l].size())
+          T::or_lane(active, l, 1);
+      // Stage everything from the pre-edge state before applying anything:
+      // primary inputs for active lanes (finished lanes are frozen by
+      // re-staging their current value), then the clock edge Q <- D.
+      // Lane-major gather: each lane's frame row is contiguous.
+      std::fill(pi_bits.begin(), pi_bits.end(), T::zero());
+      for (int l = 0; l < lanes; ++l) {
+        if (t >= runs[g0 + l].size()) continue;
+        const char* row = runs[g0 + l][t].data();
+        // Branchless: frame bits are random, so a conditional OR would
+        // mispredict half the time.
+        for (std::size_t j = 0; j < pis.size(); ++j)
+          T::or_lane(pi_bits[j], l,
+                     static_cast<std::uint64_t>(row[j] & 1));
+      }
+      for (std::size_t j = 0; j < pis.size(); ++j)
+        sim.stage_source(pis[j],
+                         (sim.word(pis[j]) & ~active) | (pi_bits[j] & active));
+      for (const auto& l : latches)
+        sim.stage_source(
+            l.q, (sim.word(l.d) & active) | (sim.word(l.q) & ~active));
+      sim.settle_batch(toggles, touched, touched_flag, before);
+      // Functional = settled value changed across the cycle; only nets
+      // that saw an event this cycle can have changed.
+      for (const NetId net : touched) {
+        touched_flag[net] = 0;
+        fn.add(0, before[net] ^ sim.word(net));
+      }
+      touched.clear();
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+      CycleSimStats& st = results[g0 + l];
+      st.num_cycles = runs[g0 + l].size();
+      st.toggles.resize(num_nets);
+      for (NetId net = 0; net < num_nets; ++net)
+        st.toggles[net] = toggles.count(net, l);
+      st.functional_transitions = fn.count(0, l);
+      for (auto v : st.toggles) st.total_transitions += v;
+    }
+  }
+  return results;
+}
+
+}  // namespace hlp

@@ -1,0 +1,154 @@
+#include "sim/simd_mode.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+namespace {
+
+constexpr const char* kAccepted = "auto, u64, x2, x4, x8, avx2, avx512";
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512f() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const std::vector<SimdMode>& all_simd_modes() {
+  static const std::vector<SimdMode> kModes = {
+      SimdMode::kAuto, SimdMode::kU64,  SimdMode::kX2,    SimdMode::kX4,
+      SimdMode::kX8,   SimdMode::kAvx2, SimdMode::kAvx512};
+  return kModes;
+}
+
+const char* simd_mode_name(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kU64:
+      return "u64";
+    case SimdMode::kX2:
+      return "x2";
+    case SimdMode::kX4:
+      return "x4";
+    case SimdMode::kX8:
+      return "x8";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kAvx512:
+      return "avx512";
+  }
+  HLP_CHECK(false, "invalid SimdMode value");
+}
+
+SimdMode parse_simd_mode(const std::string& value) {
+  for (const SimdMode mode : all_simd_modes())
+    if (value == simd_mode_name(mode)) return mode;
+  HLP_REQUIRE(false, "HLP_SIMD='" << value << "' is not a SIMD mode (accepted: "
+                                  << kAccepted << ")");
+}
+
+SimdMode simd_mode_from_env(SimdMode fallback) {
+  const char* env = std::getenv("HLP_SIMD");
+  if (!env || *env == '\0') return fallback;
+  return parse_simd_mode(env);
+}
+
+bool simd_mode_compiled(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAvx2:
+#if defined(HLP_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case SimdMode::kAvx512:
+#if defined(HLP_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    default:
+      return true;
+  }
+}
+
+bool simd_mode_supported(SimdMode mode) {
+  if (!simd_mode_compiled(mode)) return false;
+  switch (mode) {
+    case SimdMode::kAvx2:
+      return cpu_has_avx2();
+    case SimdMode::kAvx512:
+      return cpu_has_avx512f();
+    default:
+      return true;
+  }
+}
+
+SimdMode resolve_simd_mode(SimdMode requested) {
+  if (requested == SimdMode::kAuto) {
+    if (simd_mode_supported(SimdMode::kAvx512)) return SimdMode::kAvx512;
+    if (simd_mode_supported(SimdMode::kAvx2)) return SimdMode::kAvx2;
+    return SimdMode::kU64;
+  }
+  HLP_REQUIRE(simd_mode_supported(requested),
+              "HLP_SIMD mode '" << simd_mode_name(requested) << "' is not "
+                  << (simd_mode_compiled(requested)
+                          ? "supported on this CPU"
+                          : "compiled into this build"));
+  return requested;
+}
+
+SimdMode effective_simd_mode(SimdMode requested) {
+  return resolve_simd_mode(requested == SimdMode::kAuto
+                               ? simd_mode_from_env(SimdMode::kAuto)
+                               : requested);
+}
+
+SimdMode effective_simd_mode(SimdMode requested, std::size_t lanes_needed) {
+  const SimdMode mode = requested == SimdMode::kAuto
+                            ? simd_mode_from_env(SimdMode::kAuto)
+                            : requested;
+  if (mode != SimdMode::kAuto) return resolve_simd_mode(mode);
+  if (lanes_needed <= 64) return SimdMode::kU64;
+  if (lanes_needed <= 128) return SimdMode::kX2;
+  if (lanes_needed <= 256)
+    return simd_mode_supported(SimdMode::kAvx2) ? SimdMode::kAvx2
+                                                : SimdMode::kX4;
+  return simd_mode_supported(SimdMode::kAvx512) ? SimdMode::kAvx512
+                                                : SimdMode::kX8;
+}
+
+int simd_lanes(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kU64:
+      return 64;
+    case SimdMode::kX2:
+      return 128;
+    case SimdMode::kX4:
+    case SimdMode::kAvx2:
+      return 256;
+    case SimdMode::kX8:
+    case SimdMode::kAvx512:
+      return 512;
+    case SimdMode::kAuto:
+      break;
+  }
+  HLP_REQUIRE(false, "simd_lanes needs a concrete mode, not 'auto'");
+}
+
+}  // namespace hlp

@@ -1,0 +1,379 @@
+// SIMD word types for the bit-parallel simulation engine.
+//
+// The engine (bit_sim_engine.hpp) is templated on a Word type; one word
+// carries one simulation lane per bit, so widening the word widens the
+// whole engine. Three families are provided:
+//
+//  - std::uint64_t            — the scalar reference word (64 lanes).
+//  - SimdWord<N>              — portable N x u64 limb array (128/256/512
+//                               lanes for N = 2/4/8). Plain C++ loops over
+//                               the limbs; the compiler auto-vectorises
+//                               them with whatever ISA the TU is built for.
+//  - AvxWord256 / AvxWord512  — explicit __m256i / __m512i backends. Only
+//                               defined when the translation unit is
+//                               compiled with AVX2 / AVX-512F enabled, so
+//                               this header stays includable from baseline
+//                               TUs; the library compiles them in dedicated
+//                               per-ISA TUs (bit_sim_avx2.cpp, ...) behind
+//                               runtime CPU dispatch (simd_mode.hpp).
+//
+// Every word type exposes the same contract through WordTraits<W>:
+// bitwise operators (&, |, ^, ~ — lane-wise boolean algebra), plus the
+// lane-indexed helpers the engine needs for staging, counting and
+// cross-lane carries. All operations are pure boolean/bit manipulation, so
+// every backend computes the identical function and the engine stays
+// bit-identical to the scalar oracle at any width.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace hlp {
+
+/// Portable wide word: N 64-bit limbs = N*64 lanes. `Tag` only
+/// disambiguates otherwise-identical instantiations that are compiled in
+/// different-ISA translation units (distinct types -> distinct symbols, so
+/// the linker can never mix codegen across ISA boundaries).
+template <int N, int Tag = 0>
+struct SimdWord {
+  std::uint64_t limb[N];
+
+  friend SimdWord operator&(const SimdWord& a, const SimdWord& b) {
+    SimdWord r;
+    for (int i = 0; i < N; ++i) r.limb[i] = a.limb[i] & b.limb[i];
+    return r;
+  }
+  friend SimdWord operator|(const SimdWord& a, const SimdWord& b) {
+    SimdWord r;
+    for (int i = 0; i < N; ++i) r.limb[i] = a.limb[i] | b.limb[i];
+    return r;
+  }
+  friend SimdWord operator^(const SimdWord& a, const SimdWord& b) {
+    SimdWord r;
+    for (int i = 0; i < N; ++i) r.limb[i] = a.limb[i] ^ b.limb[i];
+    return r;
+  }
+  friend SimdWord operator~(const SimdWord& a) {
+    SimdWord r;
+    for (int i = 0; i < N; ++i) r.limb[i] = ~a.limb[i];
+    return r;
+  }
+};
+
+using SimdX2 = SimdWord<2>;  // 128 lanes
+using SimdX4 = SimdWord<4>;  // 256 lanes
+using SimdX8 = SimdWord<8>;  // 512 lanes
+
+/// The lane-level operations the engine needs beyond the bitwise
+/// operators. Specialised per word type; see the std::uint64_t instance
+/// for the authoritative semantics of each member.
+template <typename W>
+struct WordTraits;
+
+template <>
+struct WordTraits<std::uint64_t> {
+  using Word = std::uint64_t;
+  /// Simulation lanes per word (one lane per bit).
+  static constexpr int kLanes = 64;
+  static Word zero() { return 0; }
+  static Word ones() { return ~0ull; }
+  /// All lanes 0 or all lanes 1.
+  static Word fill(bool b) { return b ? ones() : zero(); }
+  /// Any lane set?
+  static bool any(Word w) { return w != 0; }
+  /// Number of set lanes.
+  static int popcount(Word w) { return std::popcount(w); }
+  /// Bit of lane `l` (0 or 1).
+  static int lane(Word w, int l) {
+    return static_cast<int>((w >> l) & 1u);
+  }
+  /// OR `bit` (0 or 1) into lane `l` — branchless staging primitive.
+  static void or_lane(Word& w, int l, std::uint64_t bit) { w |= bit << l; }
+  /// Word with lanes [0, n) set (n may equal kLanes).
+  static Word mask_lo(int n) {
+    return n >= kLanes ? ones() : (1ull << n) - 1;
+  }
+  /// Shift every lane up by one, inserting `carry_in` (0 or 1) at lane 0.
+  static Word shl1(Word w, int carry_in) {
+    return (w << 1) | static_cast<Word>(carry_in);
+  }
+  /// Invoke `f(lane)` for every set lane, in ascending lane order.
+  template <typename F>
+  static void for_each_lane(Word w, F&& f) {
+    while (w) {
+      f(std::countr_zero(w));
+      w &= w - 1;
+    }
+  }
+};
+
+template <int N, int Tag>
+struct WordTraits<SimdWord<N, Tag>> {
+  using Word = SimdWord<N, Tag>;
+  static constexpr int kLanes = 64 * N;
+  static Word zero() {
+    Word w;
+    for (int i = 0; i < N; ++i) w.limb[i] = 0;
+    return w;
+  }
+  static Word ones() {
+    Word w;
+    for (int i = 0; i < N; ++i) w.limb[i] = ~0ull;
+    return w;
+  }
+  static Word fill(bool b) { return b ? ones() : zero(); }
+  static bool any(const Word& w) {
+    std::uint64_t acc = 0;
+    for (int i = 0; i < N; ++i) acc |= w.limb[i];
+    return acc != 0;
+  }
+  static int popcount(const Word& w) {
+    int c = 0;
+    for (int i = 0; i < N; ++i) c += std::popcount(w.limb[i]);
+    return c;
+  }
+  static int lane(const Word& w, int l) {
+    return static_cast<int>((w.limb[l >> 6] >> (l & 63)) & 1u);
+  }
+  static void or_lane(Word& w, int l, std::uint64_t bit) {
+    w.limb[l >> 6] |= bit << (l & 63);
+  }
+  static Word mask_lo(int n) {
+    Word w;
+    for (int i = 0; i < N; ++i) {
+      const int base = i * 64;
+      if (n >= base + 64)
+        w.limb[i] = ~0ull;
+      else if (n <= base)
+        w.limb[i] = 0;
+      else
+        w.limb[i] = (1ull << (n - base)) - 1;
+    }
+    return w;
+  }
+  static Word shl1(const Word& w, int carry_in) {
+    Word r;
+    std::uint64_t carry = static_cast<std::uint64_t>(carry_in);
+    for (int i = 0; i < N; ++i) {
+      r.limb[i] = (w.limb[i] << 1) | carry;
+      carry = w.limb[i] >> 63;
+    }
+    return r;
+  }
+  template <typename F>
+  static void for_each_lane(const Word& w, F&& f) {
+    for (int i = 0; i < N; ++i) {
+      std::uint64_t bits = w.limb[i];
+      while (bits) {
+        f(i * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+    }
+  }
+};
+
+#if defined(__AVX2__)
+
+/// 256-lane word on an AVX2 register. Bitwise algebra runs on the vector
+/// unit; lane-indexed helpers go through the aliased limb view (a
+/// GCC/Clang-sanctioned union pun), which only the staging/unpack paths
+/// touch.
+struct AvxWord256 {
+  union {
+    __m256i v;
+    std::uint64_t limb[4];
+  };
+
+  friend AvxWord256 operator&(const AvxWord256& a, const AvxWord256& b) {
+    AvxWord256 r;
+    r.v = _mm256_and_si256(a.v, b.v);
+    return r;
+  }
+  friend AvxWord256 operator|(const AvxWord256& a, const AvxWord256& b) {
+    AvxWord256 r;
+    r.v = _mm256_or_si256(a.v, b.v);
+    return r;
+  }
+  friend AvxWord256 operator^(const AvxWord256& a, const AvxWord256& b) {
+    AvxWord256 r;
+    r.v = _mm256_xor_si256(a.v, b.v);
+    return r;
+  }
+  friend AvxWord256 operator~(const AvxWord256& a) {
+    AvxWord256 r;
+    r.v = _mm256_xor_si256(a.v, _mm256_set1_epi64x(-1));
+    return r;
+  }
+};
+
+template <>
+struct WordTraits<AvxWord256> {
+  using Word = AvxWord256;
+  static constexpr int kLanes = 256;
+  static Word zero() {
+    Word w;
+    w.v = _mm256_setzero_si256();
+    return w;
+  }
+  static Word ones() {
+    Word w;
+    w.v = _mm256_set1_epi64x(-1);
+    return w;
+  }
+  static Word fill(bool b) { return b ? ones() : zero(); }
+  static bool any(const Word& w) { return !_mm256_testz_si256(w.v, w.v); }
+  static int popcount(const Word& w) {
+    int c = 0;
+    for (int i = 0; i < 4; ++i) c += std::popcount(w.limb[i]);
+    return c;
+  }
+  static int lane(const Word& w, int l) {
+    return static_cast<int>((w.limb[l >> 6] >> (l & 63)) & 1u);
+  }
+  static void or_lane(Word& w, int l, std::uint64_t bit) {
+    w.limb[l >> 6] |= bit << (l & 63);
+  }
+  // Self-contained (no WordTraits<SimdWord<4>> reference): this TU is
+  // compiled with AVX flags, and instantiating the baseline portable
+  // traits here would emit COMDAT symbols the linker could prefer over
+  // the baseline TUs' copies — exactly the cross-ISA mixing the SimdWord
+  // Tag exists to prevent.
+  static Word mask_lo(int n) {
+    Word w;
+    for (int i = 0; i < 4; ++i) {
+      const int base = i * 64;
+      if (n >= base + 64)
+        w.limb[i] = ~0ull;
+      else if (n <= base)
+        w.limb[i] = 0;
+      else
+        w.limb[i] = (1ull << (n - base)) - 1;
+    }
+    return w;
+  }
+  static Word shl1(const Word& w, int carry_in) {
+    Word r;
+    std::uint64_t carry = static_cast<std::uint64_t>(carry_in);
+    for (int i = 0; i < 4; ++i) {
+      r.limb[i] = (w.limb[i] << 1) | carry;
+      carry = w.limb[i] >> 63;
+    }
+    return r;
+  }
+  template <typename F>
+  static void for_each_lane(const Word& w, F&& f) {
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t bits = w.limb[i];
+      while (bits) {
+        f(i * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+    }
+  }
+};
+
+#endif  // __AVX2__
+
+#if defined(__AVX512F__)
+
+/// 512-lane word on an AVX-512 register (AVX512F ops only, so runtime
+/// dispatch needs exactly the avx512f CPUID bit).
+struct AvxWord512 {
+  union {
+    __m512i v;
+    std::uint64_t limb[8];
+  };
+
+  friend AvxWord512 operator&(const AvxWord512& a, const AvxWord512& b) {
+    AvxWord512 r;
+    r.v = _mm512_and_epi64(a.v, b.v);
+    return r;
+  }
+  friend AvxWord512 operator|(const AvxWord512& a, const AvxWord512& b) {
+    AvxWord512 r;
+    r.v = _mm512_or_epi64(a.v, b.v);
+    return r;
+  }
+  friend AvxWord512 operator^(const AvxWord512& a, const AvxWord512& b) {
+    AvxWord512 r;
+    r.v = _mm512_xor_epi64(a.v, b.v);
+    return r;
+  }
+  friend AvxWord512 operator~(const AvxWord512& a) {
+    AvxWord512 r;
+    r.v = _mm512_xor_epi64(a.v, _mm512_set1_epi64(-1));
+    return r;
+  }
+};
+
+template <>
+struct WordTraits<AvxWord512> {
+  using Word = AvxWord512;
+  static constexpr int kLanes = 512;
+  static Word zero() {
+    Word w;
+    w.v = _mm512_setzero_si512();
+    return w;
+  }
+  static Word ones() {
+    Word w;
+    w.v = _mm512_set1_epi64(-1);
+    return w;
+  }
+  static Word fill(bool b) { return b ? ones() : zero(); }
+  static bool any(const Word& w) {
+    return _mm512_test_epi64_mask(w.v, w.v) != 0;
+  }
+  static int popcount(const Word& w) {
+    int c = 0;
+    for (int i = 0; i < 8; ++i) c += std::popcount(w.limb[i]);
+    return c;
+  }
+  static int lane(const Word& w, int l) {
+    return static_cast<int>((w.limb[l >> 6] >> (l & 63)) & 1u);
+  }
+  static void or_lane(Word& w, int l, std::uint64_t bit) {
+    w.limb[l >> 6] |= bit << (l & 63);
+  }
+  // Self-contained for the same cross-ISA COMDAT reason as AvxWord256.
+  static Word mask_lo(int n) {
+    Word w;
+    for (int i = 0; i < 8; ++i) {
+      const int base = i * 64;
+      if (n >= base + 64)
+        w.limb[i] = ~0ull;
+      else if (n <= base)
+        w.limb[i] = 0;
+      else
+        w.limb[i] = (1ull << (n - base)) - 1;
+    }
+    return w;
+  }
+  static Word shl1(const Word& w, int carry_in) {
+    Word r;
+    std::uint64_t carry = static_cast<std::uint64_t>(carry_in);
+    for (int i = 0; i < 8; ++i) {
+      r.limb[i] = (w.limb[i] << 1) | carry;
+      carry = w.limb[i] >> 63;
+    }
+    return r;
+  }
+  template <typename F>
+  static void for_each_lane(const Word& w, F&& f) {
+    for (int i = 0; i < 8; ++i) {
+      std::uint64_t bits = w.limb[i];
+      while (bits) {
+        f(i * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+    }
+  }
+};
+
+#endif  // __AVX512F__
+
+}  // namespace hlp

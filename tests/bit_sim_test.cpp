@@ -2,7 +2,10 @@
 // netlists x seeds asserting simulate_frames_batched / simulate_batch
 // reproduce the scalar simulate_frames exactly — per-net toggles, total and
 // functional transition counts, and the glitch split — including
-// non-multiple-of-64 frame counts and mixed-length run batches.
+// non-multiple-of-64 frame counts and mixed-length run batches, and the
+// same equivalence for every SIMD word width the build/CPU supports
+// (u64/x2/x4/x8 portable limbs plus the AVX2/AVX-512 backends): one
+// randomized grid, every backend, bit for bit.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -189,6 +192,85 @@ TEST(BitSim, EngineDispatchAgrees) {
       random_vectors(77, static_cast<int>(n.inputs().size()), 3);
   expect_identical(simulate_frames(n, frames, SimEngine::kScalar),
                    simulate_frames(n, frames, SimEngine::kBatched), "dispatch");
+}
+
+// Every concrete SimdMode this build + CPU can execute (kU64 first).
+std::vector<SimdMode> supported_modes() {
+  std::vector<SimdMode> modes;
+  for (const SimdMode mode : all_simd_modes())
+    if (mode != SimdMode::kAuto && simd_mode_supported(mode))
+      modes.push_back(mode);
+  return modes;
+}
+
+TEST(BitSimWidths, BatchOfRunsMatchesScalarAtEveryWidth) {
+  // Mixed-length runs, sized so every width sees a partially-filled word
+  // (70 runs: 2 words at u64, 1 partial word at every wider backend) and
+  // per-lane accounting is exercised well past lane 63.
+  const Netlist n = random_netlist(91, 4, 20, 3);
+  const int num_inputs = static_cast<int>(n.inputs().size());
+  std::vector<std::vector<std::vector<char>>> runs;
+  for (int i = 0; i < 70; ++i)
+    runs.push_back(random_vectors(3 + (i % 5), num_inputs, 900 + i));
+  std::vector<CycleSimStats> scalar;
+  for (const auto& run : runs) scalar.push_back(simulate_frames(n, run));
+  for (const SimdMode mode : supported_modes()) {
+    const auto batched = simulate_batch(n, runs, mode);
+    ASSERT_EQ(batched.size(), runs.size()) << simd_mode_name(mode);
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      expect_identical(scalar[i], batched[i],
+                       std::string(simd_mode_name(mode)) + " run " +
+                           std::to_string(i));
+  }
+}
+
+TEST(BitSimWidths, SmallBatchFillsOneWordAtEveryWidth) {
+  // Fewer runs than any word has lanes: the engine must freeze the unused
+  // lanes without perturbing the active ones.
+  const Netlist n = random_netlist(92, 5, 25, 2);
+  const int num_inputs = static_cast<int>(n.inputs().size());
+  std::vector<std::vector<std::vector<char>>> runs;
+  for (int i = 0; i < 3; ++i)
+    runs.push_back(random_vectors(40 + i, num_inputs, 700 + i));
+  for (const SimdMode mode : supported_modes()) {
+    const auto batched = simulate_batch(n, runs, mode);
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      expect_identical(simulate_frames(n, runs[i]), batched[i],
+                       std::string(simd_mode_name(mode)) + " run " +
+                           std::to_string(i));
+  }
+}
+
+TEST(BitSimWidths, FramesBatchedMatchesScalarAtEveryWidth) {
+  // Frame counts straddling every word boundary: 1 (deep partial word),
+  // 130 (partial at >=256 lanes), 513 (partial at 512 lanes, multi-block
+  // at every width) — the cross-block latch-state carry must line up at
+  // every lane count.
+  const Netlist n = random_netlist(93);
+  const int num_inputs = static_cast<int>(n.inputs().size());
+  for (const int num_frames : {1, 130, 513}) {
+    const auto frames = random_vectors(num_frames, num_inputs, 811);
+    const CycleSimStats scalar = simulate_frames(n, frames);
+    for (const SimdMode mode : supported_modes())
+      expect_identical(scalar, simulate_frames_batched(n, frames, mode),
+                       std::string(simd_mode_name(mode)) + " T=" +
+                           std::to_string(num_frames));
+  }
+}
+
+TEST(BitSimWidths, AutoModeDispatchesAndAgrees) {
+  // kAuto resolves to the widest supported backend; the dispatcher must
+  // accept it directly and agree with the u64 reference.
+  const Netlist n = random_netlist(94, 4, 18, 2);
+  const int num_inputs = static_cast<int>(n.inputs().size());
+  std::vector<std::vector<std::vector<char>>> runs;
+  for (int i = 0; i < 10; ++i)
+    runs.push_back(random_vectors(7, num_inputs, 300 + i));
+  const auto reference = simulate_batch(n, runs, SimdMode::kU64);
+  const auto automatic = simulate_batch(n, runs, SimdMode::kAuto);
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    expect_identical(reference[i], automatic[i],
+                     "auto run " + std::to_string(i));
 }
 
 TEST(BitSimulator, WordEvalMatchesTruthTable) {

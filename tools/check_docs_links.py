@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Link-check and lightweight lint for the repo's markdown tree.
+
+Run from anywhere: paths are resolved relative to the repo root (the
+parent of this script's directory). Checks every tracked-looking *.md at
+the repo root and under docs/:
+
+  * every relative markdown link/image target exists (anchors stripped);
+  * no link target is an absolute filesystem path;
+  * no empty link targets `[text]()`;
+  * fenced code blocks are balanced (an odd number of ``` fences usually
+    means a swallowed section).
+
+Exits non-zero with one line per problem, so CI fails loudly.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]*)\)")
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files():
+    yield from sorted(REPO.glob("*.md"))
+    yield from sorted((REPO / "docs").glob("*.md"))
+
+
+def check_file(path: Path):
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(REPO)
+
+    if text.count("```") % 2 != 0:
+        problems.append(f"{rel}: unbalanced ``` code fences")
+
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        line = text.count("\n", 0, m.start()) + 1
+        if target.startswith(SCHEMES) or target.startswith("#"):
+            continue
+        if not target:
+            problems.append(f"{rel}:{line}: empty link target")
+            continue
+        if target.startswith("/"):
+            problems.append(
+                f"{rel}:{line}: absolute path link '{target}' (use a "
+                "repo-relative path)")
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        if not (path.parent / plain).exists():
+            problems.append(f"{rel}:{line}: broken link '{target}'")
+    return problems
+
+
+def main():
+    files = list(md_files())
+    if not files:
+        print("check_docs_links: no markdown files found", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(f"check_docs_links: {len(files)} files, {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
