@@ -55,6 +55,10 @@ int main(int argc, char** argv) {
   // measures width scaling rather than word utilisation; bit-identity is
   // checked against the u64 row.
   hlp::bench::print_simd_sweep(std::cout, {"wang", "pr"}, 512);
+  // The process-level axis: the same coalesced sweep through HLP_WORKERS
+  // (default 2) hlp_worker processes vs the same number of in-process
+  // threads, bit-identity checked — the distributed CI leg's artifact.
+  hlp::bench::print_worker_sweep(std::cout, {"wang", "pr"}, 64);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

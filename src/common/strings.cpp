@@ -1,7 +1,12 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <sstream>
+
+#include "common/error.hpp"
 
 namespace hlp {
 
@@ -57,6 +62,19 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     out += parts[i];
   }
   return out;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (!env || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  HLP_REQUIRE(end != env && *end == '\0',
+              name << "='" << env << "' is not an integer");
+  HLP_REQUIRE(errno != ERANGE && v >= 1 && v <= INT_MAX,
+              name << "='" << env << "' out of range [1, " << INT_MAX << "]");
+  return static_cast<int>(v);
 }
 
 }  // namespace hlp

@@ -26,4 +26,10 @@ std::string fmt_fixed(double v, int decimals);
 /// Join tokens with a separator.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Strict positive-integer env knob, the shared parser behind
+/// HLP_JOBS/HLP_VECTORS/HLP_WORKERS (docs/env-vars.md): unset or empty
+/// returns `fallback`; anything else must parse exactly as an integer in
+/// [1, INT_MAX] or hlp::Error names the variable and offending value.
+int env_int(const char* name, int fallback);
+
 }  // namespace hlp

@@ -1,0 +1,304 @@
+#include "flow/distributed.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "flow/job_io.hpp"
+
+namespace hlp::flow {
+
+namespace fs = std::filesystem;
+
+int workers_from_env(int fallback) {
+  return env_int("HLP_WORKERS", fallback);
+}
+
+namespace {
+
+// $HLP_WORKER_BIN, else "hlp_worker" next to the current executable (the
+// build tree puts every binary in one directory), else the bare name for
+// the error message.
+std::string default_worker_binary() {
+  if (const char* env = std::getenv("HLP_WORKER_BIN"); env && *env != '\0')
+    return env;
+  std::error_code ec;
+  const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const fs::path cand = self.parent_path() / "hlp_worker";
+    if (fs::exists(cand, ec) && !ec) return cand.string();
+  }
+  return "hlp_worker";
+}
+
+// Last `max_bytes` of a worker's captured stdout/stderr, for embedding in
+// the error message of a failed slice.
+std::string log_tail(const std::string& path, std::size_t max_bytes = 600) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return "";
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  const std::size_t take = std::min(size, max_bytes);
+  f.seekg(static_cast<std::streamoff>(size - take));
+  std::string tail(take, '\0');
+  f.read(tail.data(), static_cast<std::streamsize>(take));
+  while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r'))
+    tail.pop_back();
+  return tail;
+}
+
+struct WorkerProc {
+  pid_t pid = -1;
+  bool exited = false;
+  bool timed_out = false;
+  int status = 0;
+  std::vector<std::size_t> slice;  // global job indices, ascending
+  std::string manifest, results, sa_prefix, log;
+};
+
+}  // namespace
+
+DistributedRunner::DistributedRunner(int workers, int threads_per_worker)
+    : workers_(std::max(1, workers)),
+      threads_per_worker_(std::max(1, threads_per_worker)),
+      local_(std::max(1, threads_per_worker)) {}
+
+void DistributedRunner::set_workers(int n) { workers_ = std::max(1, n); }
+
+void DistributedRunner::set_threads_per_worker(int n) {
+  threads_per_worker_ = std::max(1, n);
+  local_.set_num_threads(threads_per_worker_);
+}
+
+void DistributedRunner::set_sa_cache_path(std::string path) {
+  local_.set_sa_cache_path(std::move(path));
+}
+
+void DistributedRunner::set_coalescing(bool on) { local_.set_coalescing(on); }
+
+std::vector<JobResult> DistributedRunner::run(const std::vector<Job>& jobs) {
+  const int n = static_cast<int>(
+      std::min<std::size_t>(workers_, jobs.empty() ? 1 : jobs.size()));
+  // Graceful fallback: one worker is exactly the in-process threaded
+  // runner — no processes, no files, same results.
+  if (n <= 1) return local_.run(jobs);
+
+  const std::string worker_bin =
+      worker_binary_.empty() ? default_worker_binary() : worker_binary_;
+  HLP_REQUIRE(::access(worker_bin.c_str(), X_OK) == 0,
+              "worker binary '" << worker_bin
+                                << "' is not executable (build the "
+                                   "hlp_worker target, or point "
+                                   "HLP_WORKER_BIN / set_worker_binary at "
+                                   "it)");
+
+  // Work directory for the manifest/results/log files of this run.
+  std::string dir = work_dir_;
+  bool own_dir = false;
+  if (dir.empty()) {
+    std::string tmpl =
+        (fs::temp_directory_path() / "hlp-dist.XXXXXX").string();
+    HLP_REQUIRE(::mkdtemp(tmpl.data()) != nullptr,
+                "mkdtemp('" << tmpl << "') failed: " << std::strerror(errno));
+    dir = tmpl;
+    own_dir = true;
+  } else {
+    fs::create_directories(dir);
+  }
+
+  // Contiguous slices keep seed groups (grid() varies the seed innermost)
+  // mostly intact, so workers still coalesce; correctness never depends
+  // on the split — results are placed back by index.
+  std::vector<WorkerProc> procs(n);
+  const std::size_t base = jobs.size() / n;
+  const std::size_t extra = jobs.size() % n;
+  std::size_t next = 0;
+  for (int k = 0; k < n; ++k) {
+    WorkerProc& w = procs[k];
+    const std::size_t take = base + (static_cast<std::size_t>(k) < extra);
+    for (std::size_t j = 0; j < take; ++j) w.slice.push_back(next++);
+    const std::string stem = dir + "/worker-" + std::to_string(k);
+    w.manifest = stem + ".manifest";
+    w.results = stem + ".results";
+    w.sa_prefix = stem + ".sa";
+    w.log = stem + ".log";
+    std::vector<ManifestJob> slice;
+    slice.reserve(w.slice.size());
+    for (const std::size_t i : w.slice) slice.push_back({i, jobs[i]});
+    save_manifest_file(w.manifest, slice);
+  }
+
+  // Spawn. argv is assembled BEFORE fork so the child only performs
+  // async-signal-safe work (open/dup2/execv) between fork and exec.
+  for (WorkerProc& w : procs) {
+    std::vector<std::string> args = {worker_bin,
+                                     "--manifest",
+                                     w.manifest,
+                                     "--results",
+                                     w.results,
+                                     "--sa-out",
+                                     w.sa_prefix,
+                                     "--jobs",
+                                     std::to_string(threads_per_worker_),
+                                     "--coalesce",
+                                     local_.coalescing() ? "1" : "0"};
+    if (!local_.sa_cache_path().empty()) {
+      args.push_back("--sa-in");
+      args.push_back(local_.sa_cache_path());
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    HLP_REQUIRE(pid >= 0, "fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      const int fd = ::open(w.log.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      ::execv(argv[0], argv.data());
+      _exit(127);  // exec failed; the parent reports status 127 + log
+    }
+    w.pid = pid;
+  }
+
+  // Reap, with an optional deadline. Workers past the deadline are
+  // SIGKILLed and their slices report the timeout.
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  std::size_t running = procs.size();
+  while (running > 0) {
+    bool progress = false;
+    for (WorkerProc& w : procs) {
+      if (w.exited) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+      if (r == w.pid) {
+        w.exited = true;
+        w.status = status;
+        --running;
+        progress = true;
+      }
+    }
+    if (running == 0) break;
+    if (timeout_s_ > 0.0 &&
+        std::chrono::duration<double>(Clock::now() - t0).count() >
+            timeout_s_) {
+      for (WorkerProc& w : procs) {
+        if (w.exited) continue;
+        ::kill(w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.exited = true;
+        w.timed_out = true;
+        --running;
+      }
+      break;
+    }
+    if (!progress)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Collect: place results by manifest index; any worker-level failure is
+  // reported on every job of its slice.
+  std::vector<JobResult> results(jobs.size());
+  auto fail_slice = [&](const WorkerProc& w, const std::string& why) {
+    const std::string tail = log_tail(w.log);
+    for (const std::size_t i : w.slice) {
+      results[i].job = jobs[i];
+      results[i].ok = false;
+      results[i].error =
+          why + (tail.empty() ? "" : "; worker log tail: " + tail);
+    }
+  };
+  for (std::size_t k = 0; k < procs.size(); ++k) {
+    const WorkerProc& w = procs[k];
+    const std::string who = "worker " + std::to_string(k);
+    if (w.timed_out) {
+      std::ostringstream why;
+      why << who << " timed out after " << timeout_s_ << "s and was killed";
+      fail_slice(w, why.str());
+      continue;
+    }
+    if (WIFSIGNALED(w.status)) {
+      fail_slice(w, who + " killed by signal " +
+                        std::to_string(WTERMSIG(w.status)));
+      continue;
+    }
+    if (!WIFEXITED(w.status) || WEXITSTATUS(w.status) != 0) {
+      fail_slice(w, who + " exited with status " +
+                        std::to_string(WIFEXITED(w.status)
+                                           ? WEXITSTATUS(w.status)
+                                           : -1));
+      continue;
+    }
+    std::vector<ManifestResult> shard;
+    try {
+      shard = load_results_file(w.results);
+    } catch (const std::exception& e) {
+      // Missing or truncated output from a worker that claimed success.
+      fail_slice(w, who + " produced unreadable results: " + e.what());
+      continue;
+    }
+    const std::set<std::size_t> expect(w.slice.begin(), w.slice.end());
+    std::set<std::size_t> got;
+    for (const ManifestResult& mr : shard) got.insert(mr.index);
+    if (got != expect) {
+      fail_slice(w, who + " returned " + std::to_string(shard.size()) +
+                        " results that do not cover its " +
+                        std::to_string(w.slice.size()) + "-job slice");
+      continue;
+    }
+    for (ManifestResult& mr : shard) {
+      results[mr.index] = std::move(mr.result);
+      // The results file answers by index; the job itself is the parent's
+      // copy (the manifest round-trip is tested separately).
+      results[mr.index].job = jobs[mr.index];
+    }
+  }
+
+  // Merge the SA shards of cleanly exited workers into the parent tables
+  // (worker shard files are written atomically, so a file either is a
+  // complete table or does not exist). Conflicts throw — the entries are
+  // deterministic, so a conflict means two workers computed under
+  // different configurations and the whole run is suspect.
+  std::set<int> widths;
+  for (const Job& j : jobs) widths.insert(j.width);
+  for (const WorkerProc& w : procs) {
+    if (!w.exited || w.timed_out || !WIFEXITED(w.status) ||
+        WEXITSTATUS(w.status) != 0)
+      continue;
+    for (const int width : widths) {
+      const std::string file = w.sa_prefix + ".w" + std::to_string(width);
+      if (std::error_code ec; fs::exists(file, ec) && !ec)
+        local_.sa_cache(width).merge_from(file);
+    }
+  }
+  local_.persist_sa_caches();
+
+  if (own_dir && !keep_files_) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);  // best effort; never fail a finished run
+  }
+  return results;
+}
+
+}  // namespace hlp::flow

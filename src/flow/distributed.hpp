@@ -1,0 +1,111 @@
+// DistributedRunner: shard an ExperimentRunner job grid across worker
+// *processes* (fork/exec of the hlp_worker binary), the scaling layer
+// above the in-process thread pool and the SIMD-saturated engine.
+//
+// The parent splits the grid into contiguous slices, writes each slice as
+// a manifest file (src/flow/job_io.hpp), and fork/execs one hlp_worker
+// per slice. Every worker is an ordinary in-process ExperimentRunner in
+// its own address space: it runs its jobs (coalesced + word-parallel as
+// usual), writes its results file atomically, persists its private SA
+// table shard, and exits. The parent then
+//  - places results back by manifest index, so the returned vector is in
+//    job order regardless of sharding or completion order (deterministic
+//    merge), and
+//  - merges every worker's SA shard into its own tables with
+//    SaCache::merge_from (conflict = assert-equal; entries are
+//    deterministic), persisting the union when a warm-start path is set.
+//
+// Every library algorithm is deterministic, so a distributed run is
+// bit-identical to a threaded in-process run of the same grid
+// (tests/distributed_test.cpp; job_io.hpp's same_outcome is the
+// equality). Worker failures never throw out of run(): a nonzero exit, a
+// death by signal, a timeout or a truncated/unparseable results file is
+// reported through JobResult::error on every job of that worker's slice
+// (with the tail of the worker's captured log), mirroring the per-job
+// failure capture of the in-process runner.
+//
+// The same manifest/results files work over ssh/scp — multi-machine
+// sharding is a transport change, not a format change
+// (docs/distributed.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/experiment.hpp"
+
+namespace hlp::flow {
+
+/// Worker-process count from the HLP_WORKERS env var, else `fallback`.
+/// Strict like jobs_from_env: garbage or non-positive values throw.
+int workers_from_env(int fallback);
+
+class DistributedRunner {
+ public:
+  /// `workers` processes, each running an ExperimentRunner with
+  /// `threads_per_worker` threads. workers <= 1 (the default, unless
+  /// HLP_WORKERS says otherwise) degrades gracefully to the in-process
+  /// threaded runner — same results, no processes spawned. The
+  /// constructor reads HLP_SA_CACHE (via the local runner) as the
+  /// warm-start default and HLP_COALESCE as the coalescing default.
+  ///
+  /// Jobs are resolved by benchmark *name* in the worker process (the
+  /// default make_paper_benchmark provider) — a custom GraphProvider
+  /// cannot cross a process boundary; use ExperimentRunner directly for
+  /// those grids.
+  explicit DistributedRunner(int workers = workers_from_env(1),
+                             int threads_per_worker = 1);
+
+  /// Run the grid; results in job order (bit-identical to the in-process
+  /// runner; see same_outcome). Never throws for worker failures — those
+  /// land in JobResult::error — only for setup errors (unusable worker
+  /// binary / work directory) and SA-shard merge conflicts, which mean
+  /// the run's determinism contract was broken.
+  std::vector<JobResult> run(const std::vector<Job>& jobs);
+
+  void set_workers(int n);
+  int workers() const { return workers_; }
+  void set_threads_per_worker(int n);
+  int threads_per_worker() const { return threads_per_worker_; }
+
+  /// Path of the hlp_worker binary. Default: $HLP_WORKER_BIN if set, else
+  /// "hlp_worker" next to the current executable (the build-tree layout).
+  void set_worker_binary(std::string path) { worker_binary_ = std::move(path); }
+  const std::string& worker_binary() const { return worker_binary_; }
+
+  /// Kill workers still running after this many seconds and report the
+  /// timeout on their jobs. 0 (default) = no timeout.
+  void set_timeout(double seconds) { timeout_s_ = seconds; }
+  double timeout() const { return timeout_s_; }
+
+  /// Directory for manifests/results/logs. Default: a fresh mkdtemp under
+  /// the system temp dir, removed after run() (set_keep_files keeps it
+  /// for debugging). A caller-provided directory is never removed.
+  void set_work_dir(std::string dir) { work_dir_ = std::move(dir); }
+  void set_keep_files(bool keep) { keep_files_ = keep; }
+
+  /// Warm-start path for the merged SA tables (HLP_SA_CACHE is the
+  /// constructor default). Workers preload from it and the parent saves
+  /// the merged union back after every distributed run.
+  void set_sa_cache_path(std::string path);
+  const std::string& sa_cache_path() const { return local_.sa_cache_path(); }
+
+  /// Seed-coalescing inside each worker (and the in-process fallback).
+  void set_coalescing(bool on);
+  bool coalescing() const { return local_.coalescing(); }
+
+  /// The in-process runner behind the workers <= 1 fallback; also hosts
+  /// the merged SA tables (local().sa_cache(width) after a run).
+  ExperimentRunner& local() { return local_; }
+
+ private:
+  int workers_;
+  int threads_per_worker_;
+  std::string worker_binary_;
+  std::string work_dir_;
+  double timeout_s_ = 0.0;
+  bool keep_files_ = false;
+  ExperimentRunner local_;
+};
+
+}  // namespace hlp::flow

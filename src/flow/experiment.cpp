@@ -13,21 +13,11 @@
 
 #include "cdfg/benchmarks.hpp"
 #include "common/error.hpp"
+#include "common/strings.hpp"
 
 namespace hlp::flow {
 
-int jobs_from_env(int fallback) {
-  const char* env = std::getenv("HLP_JOBS");
-  if (!env || *env == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(env, &end, 10);
-  HLP_REQUIRE(end != env && *end == '\0',
-              "HLP_JOBS='" << env << "' is not an integer");
-  HLP_REQUIRE(errno != ERANGE && v >= 1 && v <= INT_MAX,
-              "HLP_JOBS='" << env << "' out of range [1, " << INT_MAX << "]");
-  return static_cast<int>(v);
-}
+int jobs_from_env(int fallback) { return env_int("HLP_JOBS", fallback); }
 
 bool coalesce_from_env(bool fallback) {
   const char* env = std::getenv("HLP_COALESCE");
@@ -237,7 +227,7 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
       std::min<std::size_t>(num_threads_, units.size() ? units.size() : 1);
   if (workers <= 1) {
     for (const auto& unit : units) execute_unit(unit);
-    persist_caches();
+    persist_sa_caches();
     return results;
   }
   std::atomic<std::size_t> next{0};
@@ -251,11 +241,11 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
     });
   }
   for (auto& th : pool) th.join();
-  persist_caches();
+  persist_sa_caches();
   return results;
 }
 
-void ExperimentRunner::persist_caches() {
+void ExperimentRunner::persist_sa_caches() {
   std::lock_guard<std::mutex> lock(mu_);
   if (sa_cache_path_.empty()) return;
   for (const auto& [width, cache] : caches_) {

@@ -18,6 +18,7 @@
 // every member job).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -110,6 +111,12 @@ class ExperimentRunner {
   void set_sa_cache_path(std::string path);
   const std::string& sa_cache_path() const { return sa_cache_path_; }
 
+  /// Save every runner-owned cache to its warm-start file now (run() does
+  /// this automatically; the DistributedRunner calls it after merging
+  /// worker SA shards into this runner's tables). No-op when no path is
+  /// configured.
+  void persist_sa_caches();
+
   /// Coalesce jobs that differ only in stimulus seed into one
   /// Pipeline::run_batch call (one seed per simulator lane, chunked to
   /// the job's resolved word width). On by default; the HLP_COALESCE env
@@ -119,6 +126,8 @@ class ExperimentRunner {
   bool coalescing() const { return coalesce_; }
 
   int num_threads() const { return num_threads_; }
+  /// Resize the thread pool used by subsequent run() calls.
+  void set_num_threads(int n) { num_threads_ = std::max(1, n); }
 
   /// Cross product helper: one job per (benchmark, binder, seed, rc), all
   /// other fields copied from `base`. Empty seed/rc lists mean "just the
@@ -131,9 +140,6 @@ class ExperimentRunner {
 
  private:
   std::string cache_file_for(int width) const;
-  /// Save every runner-owned cache to its warm-start file (no-op when no
-  /// path is configured).
-  void persist_caches();
 
   int num_threads_;
   GraphProvider provider_;

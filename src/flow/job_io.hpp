@@ -1,0 +1,85 @@
+// Text serialization of the ExperimentRunner job model — the wire format
+// of the distributed runner (docs/distributed.md).
+//
+// A DistributedRunner parent writes each worker's job slice as a
+// *manifest* file; the hlp_worker process loads it, runs the jobs through
+// the ordinary in-process ExperimentRunner, and writes a *results* file
+// back. Both are line-oriented text so a manifest can be shipped to
+// another machine (ssh/scp) and a results file diffed by eye.
+//
+// Properties the distributed protocol depends on:
+//  - Round trips are exact. Doubles are serialised in hexfloat (parsed
+//    with strtod), so a value survives the trip bit for bit — the
+//    distributed==threaded property test compares results to the last
+//    bit. Strings (benchmark names, labels, error messages) are
+//    percent-escaped and may contain any byte.
+//  - Truncation is detectable. Both files end in an `end <magic> <count>`
+//    footer; a file cut short by a crashed or killed worker fails to load
+//    with a clear error instead of silently dropping records.
+//  - Records carry the job's index in the parent's grid, so the parent
+//    merges worker outputs deterministically (stable job order) no matter
+//    how the grid was sharded or which worker finished first.
+//
+// One outcome field is intentionally NOT carried: the mapped LUT netlist
+// structure (FlowResult::mapped.lut_netlist), which is a large
+// intermediate artifact; its summary (num_luts, depth) and every metric
+// derived from it (timing, toggles, power) are. `same_outcome` is the
+// single definition of result equality used by tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flow/experiment.hpp"
+
+namespace hlp::flow {
+
+/// A job tagged with its position in the parent's grid.
+struct ManifestJob {
+  std::size_t index = 0;
+  Job job;
+};
+
+/// A result tagged with the manifest index it answers.
+struct ManifestResult {
+  std::size_t index = 0;
+  JobResult result;
+};
+
+/// Percent-escape (%XX) every byte that would break whitespace-delimited
+/// parsing: whitespace, '%', and non-printable bytes. Decode inverts
+/// exactly; decode of a malformed escape throws.
+std::string encode_token(const std::string& s);
+std::string decode_token(const std::string& s);
+
+/// Manifest: "manifest v1" header, one `job` line per entry, `end` footer.
+void save_manifest(std::ostream& os, const std::vector<ManifestJob>& jobs);
+std::vector<ManifestJob> load_manifest(std::istream& is);
+void save_manifest_file(const std::string& path,
+                        const std::vector<ManifestJob>& jobs);
+std::vector<ManifestJob> load_manifest_file(const std::string& path);
+
+/// Results: "results v1" header, one multi-line `result..endresult` record
+/// per entry, `end` footer. Load is strict: a missing footer, an
+/// unterminated record or a malformed line throws hlp::Error naming the
+/// defect (this is how a parent detects a worker that died mid-write).
+void save_results(std::ostream& os, const std::vector<ManifestResult>& results);
+std::vector<ManifestResult> load_results(std::istream& is);
+/// File variant writes `path` atomically (write "<path>.tmp", rename), so
+/// a results file either exists complete or not at all.
+void save_results_file(const std::string& path,
+                       const std::vector<ManifestResult>& results);
+std::vector<ManifestResult> load_results_file(const std::string& path);
+
+/// Result equality over every serialised field EXCEPT execution metadata
+/// (seconds, per-stage timings, group_size, cached_stages — wall clock and
+/// batching shape legitimately differ between a threaded run and a
+/// sharded run). This is the "bit-identical JobResult" relation of the
+/// distributed acceptance test: job fields, ok/error, the binding, mux
+/// stats, map summary, clock period, per-net toggle counts, sim counters
+/// and the power report must all agree exactly (doubles to the last bit).
+bool same_outcome(const JobResult& a, const JobResult& b);
+
+}  // namespace hlp::flow

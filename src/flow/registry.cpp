@@ -1,8 +1,11 @@
 #include "flow/registry.hpp"
 
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/hlpower.hpp"
 #include "flow/flow_context.hpp"
 #include "lopass/lopass.hpp"
@@ -54,6 +57,92 @@ Registry<SchedulerFn> make_scheduler_registry() {
   return r;
 }
 
+// Random-restart simulated-annealing binder — the ROADMAP's stochastic
+// baseline. The state is a feasible FU assignment (kinds match, no two
+// ops of one FU share a control step, allocation = the resolved rc); the
+// objective is the summed precalculated switching activity of the FUs'
+// input stages (SaCache over the per-FU mux sizes) — the same table the
+// hlpower binder consults, so "anneal" probes how far naive stochastic
+// search gets on the exact cost surface the paper's Eq. 4 heuristic
+// navigates. Deterministic: every stochastic choice comes from an hlp::Rng
+// seeded by the context's reg_seed and the restart number.
+FuBinding bind_fus_anneal(FlowContext& ctx, const BinderSpec& /*spec*/) {
+  const Cdfg& g = ctx.cdfg();
+  const Schedule& s = ctx.schedule();
+  const ResourceConstraint& rc = ctx.rc();
+  const RegisterBinding& regs = ctx.regs();
+
+  // FU pool: the full allocation, adders first (ids stable across runs).
+  std::vector<OpKind> kinds;
+  for (int k = 0; k < kNumOpKinds; ++k)
+    for (int u = 0; u < rc.limit(static_cast<OpKind>(k)); ++u)
+      kinds.push_back(static_cast<OpKind>(k));
+  const int nf = static_cast<int>(kinds.size());
+
+  const auto cost_of = [&](const FuBinding& fus) {
+    const FuPortSources src = fu_port_sources(g, regs, fus);
+    double cost = 0.0;
+    for (int f = 0; f < nf; ++f)
+      if (!src.port_a[f].empty() || !src.port_b[f].empty())
+        cost += ctx.sa_cache().switching_activity(
+            kinds[f], std::max<int>(1, src.port_a[f].size()),
+            std::max<int>(1, src.port_b[f].size()));
+    return cost;
+  };
+
+  FuBinding best;
+  double best_cost = 0.0;
+  for (int restart = 0; restart < 3; ++restart) {
+    Rng rng(ctx.options().reg_seed * 1000003u + restart);
+    FuBinding fus;
+    fus.kind_of_fu = kinds;
+    fus.fu_of_op.assign(g.num_ops(), -1);
+    // busy[f][step]: greedy first-fit seed state (always feasible — the
+    // resolved rc covers the schedule's max density at every step).
+    std::vector<std::vector<char>> busy(nf,
+                                        std::vector<char>(s.num_steps, 0));
+    for (int op = 0; op < g.num_ops(); ++op) {
+      for (int f = 0; f < nf; ++f)
+        if (kinds[f] == g.op(op).kind && !busy[f][s.cstep(op)]) {
+          fus.fu_of_op[op] = f;
+          busy[f][s.cstep(op)] = 1;
+          break;
+        }
+      HLP_CHECK(fus.fu_of_op[op] >= 0,
+                "anneal: no free FU for op " << op << " at step "
+                                             << s.cstep(op));
+    }
+
+    double cost = cost_of(fus);
+    double temp = std::max(1.0, cost * 0.05);
+    const int iters = 60 * std::max(1, g.num_ops());
+    for (int it = 0; it < iters; ++it, temp *= 0.999) {
+      // Move: push a random op onto another same-kind FU free at its step.
+      const int op = static_cast<int>(rng.below(g.num_ops()));
+      const int from = fus.fu_of_op[op];
+      const int to = static_cast<int>(rng.below(nf));
+      if (to == from || kinds[to] != g.op(op).kind ||
+          busy[to][s.cstep(op)])
+        continue;
+      fus.fu_of_op[op] = to;
+      const double moved = cost_of(fus);
+      if (moved <= cost || rng.chance(std::exp((cost - moved) / temp))) {
+        busy[from][s.cstep(op)] = 0;
+        busy[to][s.cstep(op)] = 1;
+        cost = moved;
+      } else {
+        fus.fu_of_op[op] = from;
+      }
+    }
+    if (restart == 0 || cost < best_cost) {
+      best = std::move(fus);
+      best_cost = cost;
+    }
+  }
+  best.validate(g, s, rc);
+  return best;
+}
+
 Registry<BinderFn> make_binder_registry() {
   Registry<BinderFn> r;
   r.add("hlpower", [](FlowContext& ctx, const BinderSpec& spec) {
@@ -67,6 +156,7 @@ Registry<BinderFn> make_binder_registry() {
     return bind_fus_lopass(ctx.cdfg(), ctx.schedule(), ctx.regs(), ctx.rc(),
                            LopassParams{ctx.width()});
   });
+  r.add("anneal", bind_fus_anneal);
   return r;
 }
 

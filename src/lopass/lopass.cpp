@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <set>
 #include <tuple>
 
@@ -21,18 +22,26 @@ namespace {
 // with logic size, but is blind to path-imbalance glitching.
 class ZeroDelaySaTable {
  public:
+  /// Thread-safe: the process-wide table is shared by every runner thread
+  /// that binds with lopass. The (deterministic) SA computation runs
+  /// outside the lock, like SaCache — racing cold misses compute the same
+  /// value and the first insertion wins.
   double get(OpKind kind, int a, int b, int width) {
     const auto key = std::make_tuple(op_kind_index(kind), a, b, width);
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = memo_.find(key);
+      if (it != memo_.end()) return it->second;
+    }
     const Netlist dp = make_partial_datapath(kind, a, b, width);
     const MapResult mapped = tech_map(dp, MapParams{});
     const double sa = estimate_activity_zero_delay(mapped.lut_netlist).total_sa;
-    memo_.emplace(key, sa);
-    return sa;
+    std::lock_guard<std::mutex> lock(mu_);
+    return memo_.emplace(key, sa).first->second;
   }
 
  private:
+  std::mutex mu_;
   std::map<std::tuple<int, int, int, int>, double> memo_;
 };
 

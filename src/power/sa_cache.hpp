@@ -64,11 +64,28 @@ class SaCache {
   /// "all combinations" table).
   void precompute(int max_mux_a, int max_mux_b);
 
-  /// Text persistence: "<kind> <nA> <nB> <sa>" per line.
+  /// Text persistence: "<kind> <nA> <nB> <sa>" per line, between a
+  /// "# SaCache width=..." header and a "# end <count>" footer (the footer
+  /// is what lets merge_from reject truncated shard files; load() treats
+  /// both as comments, so older tables still load).
   void save(std::ostream& os) const;
   void load(std::istream& is);
   void save_file(const std::string& path) const;
   void load_file(const std::string& path);
+
+  /// Merge a persisted table (save() output — e.g. a distributed worker's
+  /// private SA shard) into this cache. Strict, unlike load(): the file
+  /// must carry the header (whose width must match this cache) and the
+  /// "# end <count>" footer with a matching entry count — a corrupt or
+  /// truncated shard is rejected with an error naming the defect, and
+  /// nothing is merged from a rejected file (entries are staged before
+  /// insertion). Entries new to the table are inserted; entries already
+  /// present must agree bit-exactly (every backend is deterministic, so a
+  /// disagreement means the shard was produced by a different
+  /// configuration) or the merge throws. Returns the number of newly
+  /// inserted entries. Merged entries do not count as misses.
+  std::size_t merge_from(std::istream& is, const std::string& what = "shard");
+  std::size_t merge_from(const std::string& path);
 
   std::size_t size() const;
   int width() const { return width_; }

@@ -5,22 +5,13 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "common/strings.hpp"
 #include "sim/vectors.hpp"
 
 namespace hlp {
 
 int vectors_from_env(int fallback) {
-  const char* env = std::getenv("HLP_VECTORS");
-  if (!env || *env == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(env, &end, 10);
-  HLP_REQUIRE(end != env && *end == '\0',
-              "HLP_VECTORS='" << env << "' is not an integer");
-  HLP_REQUIRE(errno != ERANGE && v >= 1 && v <= INT_MAX,
-              "HLP_VECTORS='" << env << "' out of range [1, " << INT_MAX
-                              << "]");
-  return static_cast<int>(v);
+  return env_int("HLP_VECTORS", fallback);
 }
 
 FlowResult run_flow(const Cdfg& g, const Schedule& s, const Binding& b,

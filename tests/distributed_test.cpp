@@ -1,0 +1,384 @@
+// Tests for the distributed runner stack (src/flow/job_io, distributed,
+// tools/hlp_worker): wire-format round trips are exact and truncation-
+// detecting, a multi-process run is bit-identical to the in-process
+// threaded runner on a randomized job grid, worker failures (nonzero
+// exit, death by signal, truncated output, timeout) propagate into
+// per-job errors, and SA-table shards merge into a shared warm-start
+// file.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "flow/distributed.hpp"
+#include "flow/experiment.hpp"
+#include "flow/job_io.hpp"
+#include "power/sa_cache.hpp"
+
+namespace hlp {
+namespace {
+
+constexpr int kWidth = 4;
+constexpr int kVectors = 40;
+
+flow::Job small_job(const std::string& benchmark) {
+  flow::Job j;
+  j.benchmark = benchmark;
+  j.width = kWidth;
+  j.num_vectors = kVectors;
+  return j;
+}
+
+// The randomized acceptance grid: benchmarks x binders (all four
+// registered families, refinement included) x a non-multiple-of-64 seed
+// count, shuffled so worker slices cut across coalescing groups.
+std::vector<flow::Job> property_grid() {
+  flow::BinderSpec hlp_half{"hlpower"};
+  flow::BinderSpec lopass{"lopass"};
+  flow::BinderSpec anneal{"anneal"};
+  flow::BinderSpec refined{"hlpower"};
+  refined.alpha = 1.0;
+  refined.refine = true;
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 17; ++s) seeds.push_back(300 + s);
+  std::vector<flow::Job> jobs = flow::ExperimentRunner::grid(
+      {"pr", "wang"}, {hlp_half, lopass, anneal, refined}, seeds, {},
+      small_job("pr"));
+  // One job that fails inside the worker: per-job errors must round-trip
+  // and match the in-process runner's message exactly.
+  jobs.push_back(small_job("no-such-benchmark"));
+  Rng rng(7);
+  rng.shuffle(jobs);
+  return jobs;
+}
+
+std::string write_fake_worker(const std::string& name,
+                              const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  {
+    std::ofstream f(path);
+    f << "#!/bin/sh\n" << body << "\n";
+  }
+  EXPECT_EQ(::chmod(path.c_str(), 0755), 0);
+  return path;
+}
+
+// ---- wire format ---------------------------------------------------------
+
+TEST(JobIo, TokenRoundTrip) {
+  const std::string nasty = "a b\tc\nd%e=f\x01g";
+  const std::string enc = flow::encode_token(nasty);
+  EXPECT_EQ(enc.find(' '), std::string::npos);
+  EXPECT_EQ(enc.find('\n'), std::string::npos);
+  EXPECT_EQ(flow::decode_token(enc), nasty);
+  EXPECT_EQ(flow::decode_token(flow::encode_token("")), "");
+  EXPECT_THROW(flow::decode_token("bad%2"), Error);
+  EXPECT_THROW(flow::decode_token("bad%zz"), Error);
+}
+
+TEST(JobIo, ManifestRoundTripIsExact) {
+  std::vector<flow::ManifestJob> jobs;
+  flow::ManifestJob a;
+  a.index = 12;
+  a.job = small_job("pr");
+  a.job.scheduler = "fds";
+  a.job.binder = {"hlpower", 0.1, 0.375, -1.0, true};
+  a.job.rc = {3, 2};
+  a.job.seed = 0xdeadbeefcafe1234ull;
+  a.job.reg_seed = 99;
+  a.job.sched_spec = {5, 3};
+  a.job.sim_engine = SimEngine::kScalar;
+  a.job.simd = SimdMode::kX4;
+  a.job.label = "label with spaces & %";
+  jobs.push_back(a);
+  flow::ManifestJob b;  // all defaults
+  b.index = 0;
+  jobs.push_back(b);
+
+  std::ostringstream text;
+  flow::save_manifest(text, jobs);
+  std::istringstream in(text.str());
+  const auto back = flow::load_manifest(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].index, 12u);
+  const flow::Job& j = back[0].job;
+  EXPECT_EQ(j.benchmark, "pr");
+  EXPECT_EQ(j.scheduler, "fds");
+  EXPECT_EQ(j.binder.name, "hlpower");
+  EXPECT_EQ(j.binder.alpha, 0.1);  // bit-exact, not just approximate
+  EXPECT_EQ(j.binder.beta_add, 0.375);
+  EXPECT_EQ(j.binder.beta_mult, -1.0);
+  EXPECT_TRUE(j.binder.refine);
+  EXPECT_EQ(j.rc.adders, 3);
+  EXPECT_EQ(j.rc.multipliers, 2);
+  EXPECT_EQ(j.seed, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(j.reg_seed, 99u);
+  EXPECT_EQ(j.sched_spec.min_latency, 5);
+  EXPECT_EQ(j.sched_spec.latency_slack, 3);
+  EXPECT_EQ(j.sim_engine, SimEngine::kScalar);
+  EXPECT_EQ(j.simd, SimdMode::kX4);
+  EXPECT_EQ(j.label, "label with spaces & %");
+  EXPECT_EQ(back[1].job.benchmark, flow::Job{}.benchmark);
+}
+
+flow::ManifestResult synthetic_result() {
+  flow::ManifestResult mr;
+  mr.index = 7;
+  flow::JobResult& r = mr.result;
+  r.job = small_job("wang");
+  r.ok = true;
+  r.seconds = 0.1234567890123456789;
+  r.group_size = 17;
+  flow::PipelineOutcome& o = r.outcome;
+  o.fus.fu_of_op = {0, 1, 0, 2};
+  o.fus.kind_of_fu = {OpKind::kAdd, OpKind::kMult, OpKind::kAdd};
+  o.fus.flipped = {0, 1, 0, 0};
+  o.refined = true;
+  o.refine.fus = o.fus;
+  o.refine.flips_applied = 2;
+  o.refine.passes = 3;
+  o.refine.cost_before = 1.0 / 3.0;
+  o.refine.cost_after = 0.1 + 0.2;  // deliberately not exactly 0.3
+  o.flow.mux_stats = {4, 9, 3, 1.5, 0.25, {2, 3}, {1, 4}, {1, 1}};
+  o.flow.mapped.num_luts = 123;
+  o.flow.mapped.depth = 6;
+  o.flow.clock_period_ns = 7.25;
+  o.flow.sim.toggles = {0, 5, 11, 0, 2};
+  o.flow.sim.num_cycles = 40;
+  o.flow.sim.total_transitions = 18;
+  o.flow.sim.functional_transitions = 12;
+  o.flow.report = {0.25, 7.25, 123, 31, 1e9 / 3.0, 4.5, 1.0 / 7.0};
+  o.bind_seconds = 1e-5;
+  o.cached_stages = {"elaborate", "map"};
+  o.timings = {{"schedule", 0.5}, {"simulate", 1.0 / 3.0}};
+  return mr;
+}
+
+TEST(JobIo, ResultsRoundTripIsBitExact) {
+  std::vector<flow::ManifestResult> results;
+  results.push_back(synthetic_result());
+  flow::ManifestResult failed;
+  failed.index = 2;
+  failed.result.job = small_job("pr");
+  failed.result.ok = false;
+  failed.result.error = "multi word error\nwith a newline and 100% escapes";
+  failed.result.seconds = 0.5;
+  results.push_back(failed);
+
+  std::ostringstream text;
+  flow::save_results(text, results);
+  std::istringstream in(text.str());
+  const auto back = flow::load_results(in);
+  ASSERT_EQ(back.size(), 2u);
+
+  EXPECT_EQ(back[0].index, 7u);
+  const flow::JobResult& orig = results[0].result;
+  const flow::JobResult& got = back[0].result;
+  EXPECT_TRUE(flow::same_outcome(orig, got));
+  // Beyond same_outcome: execution metadata round-trips too.
+  EXPECT_EQ(got.seconds, orig.seconds);
+  EXPECT_EQ(got.group_size, 17u);
+  EXPECT_EQ(got.outcome.bind_seconds, orig.outcome.bind_seconds);
+  EXPECT_EQ(got.outcome.cached_stages, orig.outcome.cached_stages);
+  ASSERT_EQ(got.outcome.timings.size(), 2u);
+  EXPECT_EQ(got.outcome.timings[1].name, "simulate");
+  EXPECT_EQ(got.outcome.timings[1].seconds, 1.0 / 3.0);
+  // The refined binding is reconstituted from the outcome's fus.
+  EXPECT_EQ(got.outcome.refine.fus.fu_of_op, orig.outcome.fus.fu_of_op);
+
+  EXPECT_EQ(back[1].index, 2u);
+  EXPECT_FALSE(back[1].result.ok);
+  EXPECT_EQ(back[1].result.error, failed.result.error);
+}
+
+TEST(JobIo, TruncatedAndCorruptResultsRejected) {
+  std::vector<flow::ManifestResult> results = {synthetic_result()};
+  std::ostringstream text;
+  flow::save_results(text, results);
+  const std::string full = text.str();
+
+  // Any prefix that cuts a record or the footer must throw, not return a
+  // partial vector — this is how a parent detects a worker that died
+  // mid-write.
+  for (const double frac : {0.2, 0.5, 0.9}) {
+    std::istringstream cut(
+        full.substr(0, static_cast<std::size_t>(full.size() * frac)));
+    EXPECT_THROW(flow::load_results(cut), Error) << "fraction " << frac;
+  }
+  std::istringstream missing_footer(full.substr(0, full.rfind("end ")));
+  EXPECT_THROW(flow::load_results(missing_footer), Error);
+
+  std::string corrupt = full;
+  corrupt.replace(corrupt.find("toggles"), 7, "goggles");
+  std::istringstream bad(corrupt);
+  EXPECT_THROW(flow::load_results(bad), Error);
+
+  std::istringstream not_results("hlp-manifest v1\ncount 0\n");
+  EXPECT_THROW(flow::load_results(not_results), Error);
+}
+
+// ---- the distributed == threaded property --------------------------------
+
+TEST(Distributed, BitIdenticalToThreadedRunnerOnRandomGrid) {
+  const std::vector<flow::Job> jobs = property_grid();
+
+  flow::ExperimentRunner threaded(3);
+  const auto want = threaded.run(jobs);
+
+  // HLP_WORKERS can raise the worker count (the CI distributed leg pins
+  // it to 2); the slices then cut the shuffled grid at different points,
+  // which must not change a single bit of any result.
+  flow::DistributedRunner dist(flow::workers_from_env(2), 2);
+  const auto got = dist.run(jobs);
+
+  ASSERT_EQ(got.size(), want.size());
+  std::size_t failed_jobs = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(flow::same_outcome(want[i], got[i]))
+        << "job " << i << " (" << jobs[i].benchmark << "/"
+        << jobs[i].binder.name << " seed " << jobs[i].seed
+        << ") diverged; distributed error: '" << got[i].error << "'";
+    EXPECT_EQ(got[i].job.seed, jobs[i].seed);
+    failed_jobs += got[i].ok ? 0 : 1;
+  }
+  // Exactly the bad-benchmark job fails, identically on both sides.
+  EXPECT_EQ(failed_jobs, 1u);
+}
+
+TEST(Distributed, SingleWorkerFallsBackInProcess) {
+  const std::vector<flow::Job> jobs = {small_job("pr"), small_job("wang")};
+  flow::DistributedRunner dist(1, 2);
+  // No process is spawned on the fallback path: an unusable worker binary
+  // must not matter.
+  dist.set_worker_binary("/does/not/exist");
+  const auto got = dist.run(jobs);
+  flow::ExperimentRunner threaded(2);
+  const auto want = threaded.run(jobs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_TRUE(flow::same_outcome(want[i], got[i])) << "job " << i;
+}
+
+TEST(Distributed, SingleJobGridDoesNotSpawn) {
+  flow::DistributedRunner dist(4, 1);
+  dist.set_worker_binary("/does/not/exist");
+  const auto got = dist.run({small_job("pr")});
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].ok) << got[0].error;
+}
+
+// ---- worker failure propagation ------------------------------------------
+
+std::vector<flow::JobResult> run_with_fake_worker(const std::string& script,
+                                                  double timeout = 0.0) {
+  flow::DistributedRunner dist(2, 1);
+  dist.set_worker_binary(script);
+  if (timeout > 0.0) dist.set_timeout(timeout);
+  return dist.run({small_job("pr"), small_job("wang"), small_job("pr")});
+}
+
+TEST(Distributed, NonzeroExitPropagatesToEveryJobOfTheSlice) {
+  const std::string script = write_fake_worker(
+      "worker_exit3.sh", "echo doom from the worker >&2\nexit 3");
+  const auto got = run_with_fake_worker(script);
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("exited with status 3"), std::string::npos)
+        << r.error;
+    // The worker's captured stderr rides along for debuggability.
+    EXPECT_NE(r.error.find("doom from the worker"), std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Distributed, KilledWorkerPropagatesSignal) {
+  const std::string script =
+      write_fake_worker("worker_kill9.sh", "kill -9 $$");
+  const auto got = run_with_fake_worker(script);
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("killed by signal 9"), std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Distributed, TruncatedResultsFilePropagates) {
+  // A worker that exits 0 but leaves a results file with no records and
+  // no footer — e.g. one that died in a way the OS reported as success.
+  const std::string script = write_fake_worker(
+      "worker_truncate.sh",
+      "out=\"\"\n"
+      "while [ $# -gt 0 ]; do\n"
+      "  if [ \"$1\" = \"--results\" ]; then out=\"$2\"; fi\n"
+      "  shift\n"
+      "done\n"
+      "printf 'hlp-results v1\\ncount 2\\n' > \"$out\"\n"
+      "exit 0");
+  const auto got = run_with_fake_worker(script);
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unreadable results"), std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Distributed, HungWorkerTimesOutAndIsKilled) {
+  const std::string script = write_fake_worker("worker_hang.sh", "sleep 30");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto got = run_with_fake_worker(script, 0.3);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("timed out"), std::string::npos) << r.error;
+  }
+  EXPECT_LT(elapsed, 10.0) << "workers were not killed at the deadline";
+}
+
+// ---- SA-table shard merging through the distributed path -----------------
+
+TEST(Distributed, SaShardsMergeIntoWarmStartFile) {
+  const std::string prefix = ::testing::TempDir() + "/dist_sa_cache";
+  const std::string file = prefix + ".w" + std::to_string(kWidth);
+  std::remove(file.c_str());
+
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 6; ++s) seeds.push_back(500 + s);
+  const auto jobs = flow::ExperimentRunner::grid(
+      {"pr", "wang"}, {flow::BinderSpec{"hlpower"}}, seeds, {},
+      small_job("pr"));
+
+  flow::DistributedRunner dist(2, 1);
+  dist.set_sa_cache_path(prefix);
+  const auto got = dist.run(jobs);
+  for (const auto& r : got) EXPECT_TRUE(r.ok) << r.error;
+
+  // The parent merged every worker's shard and persisted the union.
+  EXPECT_GT(dist.local().sa_cache(kWidth).size(), 0u);
+  SaCache reloaded(kWidth);
+  reloaded.load_file(file);
+  EXPECT_EQ(reloaded.size(), dist.local().sa_cache(kWidth).size());
+
+  // The merged table is a valid shard itself: merging it into a fresh
+  // cache inserts everything; merging twice inserts nothing new.
+  SaCache fresh(kWidth);
+  EXPECT_EQ(fresh.merge_from(file), reloaded.size());
+  EXPECT_EQ(fresh.merge_from(file), 0u);
+  EXPECT_EQ(fresh.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace hlp

@@ -324,6 +324,65 @@ TEST(ExperimentRunner, CapturesPerJobFailures) {
   EXPECT_TRUE(results[1].ok) << results[1].error;
 }
 
+TEST(Registry, AnnealBinderIsRegisteredAndValid) {
+  EXPECT_TRUE(flow::binder_registry().contains("anneal"));
+  flow::FlowContext ctx(make_paper_benchmark("pr"), {2, 2}, small_options());
+  const flow::BinderSpec spec{"anneal"};
+  const FuBinding fus = flow::binder_registry().at("anneal")(ctx, spec);
+  // A feasible binding under the resolved constraint: kinds match, no two
+  // ops of one FU share a step, allocation within rc.
+  fus.validate(ctx.cdfg(), ctx.schedule(), ctx.rc());
+  EXPECT_EQ(fus.num_fus(), ctx.rc().adders + ctx.rc().multipliers);
+}
+
+TEST(Registry, AnnealBinderIsDeterministic) {
+  // Every stochastic choice comes from an Rng seeded by the context's
+  // reg_seed, so two contexts with identical options produce identical
+  // bindings (this is what makes anneal safe for the distributed runner's
+  // bit-identity contract).
+  const flow::BinderSpec spec{"anneal"};
+  flow::FlowContext a(make_paper_benchmark("wang"), {2, 2}, small_options());
+  flow::FlowContext b(make_paper_benchmark("wang"), {2, 2}, small_options());
+  const FuBinding fa = flow::binder_registry().at("anneal")(a, spec);
+  const FuBinding fb = flow::binder_registry().at("anneal")(b, spec);
+  EXPECT_EQ(fa.fu_of_op, fb.fu_of_op);
+  EXPECT_EQ(fa.kind_of_fu, fb.kind_of_fu);
+
+  // A different reg_seed is allowed to anneal to a different binding, and
+  // the result must still be feasible.
+  flow::ContextOptions opt = small_options();
+  opt.reg_seed = 1234;
+  flow::FlowContext c(make_paper_benchmark("wang"), {2, 2}, std::move(opt));
+  const FuBinding fc = flow::binder_registry().at("anneal")(c, spec);
+  fc.validate(c.cdfg(), c.schedule(), c.rc());
+}
+
+TEST(Registry, AnnealBinderRunsThroughPipelineAndRunner) {
+  // Selected by name like any other binder: through a full pipeline run
+  // and through the ExperimentRunner (coalesced seed group included).
+  flow::Job job;
+  job.benchmark = "pr";
+  job.binder.name = "anneal";
+  job.width = kWidth;
+  job.num_vectors = 20;
+  std::vector<flow::Job> jobs;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    jobs.push_back(job);
+    jobs.back().seed = 900 + s;
+  }
+  flow::ExperimentRunner runner(2);
+  const auto results = runner.run(jobs);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.outcome.flow.sim.total_transitions, 0u);
+  }
+  // The three seeds share one annealed binding (same context, one
+  // bind-fus pass via coalescing), so structural results agree.
+  EXPECT_EQ(results[0].outcome.fus.fu_of_op,
+            results[2].outcome.fus.fu_of_op);
+}
+
 TEST(VectorsFromEnv, StrictParsing) {
   ASSERT_EQ(unsetenv("HLP_VECTORS"), 0);
   EXPECT_EQ(vectors_from_env(123), 123);

@@ -164,5 +164,143 @@ TEST(SaCache, SimulatedAndEstimatedAreDistinctBackends) {
   EXPECT_GT(s, 0.0);
 }
 
+// ---- shard merging (the distributed runner's SA reconciliation) ----------
+
+// A saved table whose entries were computed here, for building shard files.
+std::string shard_text(SaCache& c) {
+  std::ostringstream os;
+  c.save(os);
+  return os.str();
+}
+
+TEST(SaCacheMerge, DisjointShardsUnionCleanly) {
+  SaCache a = small_cache();
+  a.switching_activity(OpKind::kAdd, 1, 1);
+  a.switching_activity(OpKind::kAdd, 1, 2);
+  SaCache b = small_cache();
+  b.switching_activity(OpKind::kMult, 2, 2);
+
+  std::istringstream shard(shard_text(b));
+  const std::size_t misses_before = a.misses();
+  EXPECT_EQ(a.merge_from(shard, "test shard"), 1u);
+  EXPECT_EQ(a.size(), 3u);
+  // Merged entries answer without recomputation and do not count as
+  // misses.
+  EXPECT_DOUBLE_EQ(a.switching_activity(OpKind::kMult, 2, 2),
+                   b.switching_activity(OpKind::kMult, 2, 2));
+  EXPECT_EQ(a.misses(), misses_before);
+}
+
+TEST(SaCacheMerge, OverlappingEntriesMustAgreeExactly) {
+  SaCache a = small_cache();
+  a.switching_activity(OpKind::kAdd, 2, 2);
+  // Identical overlap merges cleanly (0 new entries)...
+  std::istringstream same(shard_text(a));
+  EXPECT_EQ(a.merge_from(same, "test shard"), 0u);
+
+  // ...but a value that disagrees — a shard computed under a different
+  // configuration — is a conflict, not a silent overwrite.
+  SaCache tampered = small_cache();
+  tampered.switching_activity(OpKind::kAdd, 2, 2);
+  std::string text = shard_text(tampered);
+  const auto dot = text.find('.');
+  ASSERT_NE(dot, std::string::npos);
+  text[dot + 1] = text[dot + 1] == '9' ? '8' : '9';  // perturb the value
+  std::istringstream conflict(text);
+  try {
+    a.merge_from(conflict, "test shard");
+    FAIL() << "expected a merge conflict";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("merge conflict"),
+              std::string::npos)
+        << e.what();
+  }
+  // The table kept its own value.
+  EXPECT_DOUBLE_EQ(a.switching_activity(OpKind::kAdd, 2, 2),
+                   a.compute_uncached(OpKind::kAdd, 2, 2));
+}
+
+TEST(SaCacheMerge, TruncatedShardRejectedWithoutPartialMerge) {
+  SaCache src = small_cache();
+  src.precompute(2, 2);
+  const std::string full = shard_text(src);
+
+  SaCache dst = small_cache();
+  // Cut before the "# end" footer: rejected, and nothing was merged.
+  std::istringstream cut(full.substr(0, full.rfind("# end")));
+  try {
+    dst.merge_from(cut, "test shard");
+    FAIL() << "expected truncation to be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing '# end' footer"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(dst.size(), 0u);
+
+  // Cut mid-table (footer intact but entries missing): the footer count
+  // mismatch is the defect named.
+  std::string half = full.substr(0, full.size() / 2);
+  half += "\n# end 8\n";
+  std::istringstream bad_count(half);
+  EXPECT_THROW(dst.merge_from(bad_count, "test shard"), Error);
+  EXPECT_EQ(dst.size(), 0u);
+}
+
+TEST(SaCacheMerge, CorruptShardRejected) {
+  SaCache dst = small_cache();
+  std::istringstream garbage("not an sa table at all\n");
+  EXPECT_THROW(dst.merge_from(garbage, "test shard"), Error);
+  std::istringstream bad_kind(
+      "# SaCache width=4 k=4\ndiv 1 1 3.0\n# end 1\n");
+  EXPECT_THROW(dst.merge_from(bad_kind, "test shard"), Error);
+  std::istringstream missing_fields(
+      "# SaCache width=4 k=4\nadd 1\n# end 1\n");
+  EXPECT_THROW(dst.merge_from(missing_fields, "test shard"), Error);
+  EXPECT_EQ(dst.size(), 0u);
+}
+
+TEST(SaCacheMerge, WidthMismatchRejected) {
+  SaCache w8(8);
+  w8.switching_activity(OpKind::kAdd, 1, 1);
+  SaCache w4 = small_cache();
+  std::istringstream shard(shard_text(w8));
+  try {
+    w4.merge_from(shard, "test shard");
+    FAIL() << "expected width mismatch rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("width"), std::string::npos);
+  }
+}
+
+TEST(SaCacheMerge, WarmStartHitsAfterMergeFile) {
+  const std::string path = ::testing::TempDir() + "/sa_merge_shard.txt";
+  {
+    SaCache src = small_cache();
+    src.precompute(2, 2);
+    src.save_file(path);
+  }
+  SaCache warm = small_cache();
+  EXPECT_EQ(warm.merge_from(path), 2u * 2u * 2u);
+  // Every precomputed combination now hits: no misses on lookup.
+  for (int kind = 0; kind < kNumOpKinds; ++kind)
+    for (int a = 1; a <= 2; ++a)
+      for (int b = 1; b <= 2; ++b)
+        warm.switching_activity(static_cast<OpKind>(kind), a, b);
+  EXPECT_EQ(warm.misses(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SaCacheMerge, SaveLoadStillToleratesFooter) {
+  // load() (the warm-start reader) must keep reading footer-bearing
+  // tables as plain comments.
+  SaCache a = small_cache();
+  a.switching_activity(OpKind::kAdd, 2, 2);
+  std::istringstream in(shard_text(a));
+  SaCache b = small_cache();
+  b.load(in);
+  EXPECT_EQ(b.size(), 1u);
+}
+
 }  // namespace
 }  // namespace hlp

@@ -1,0 +1,138 @@
+// hlp_worker — the worker-process half of the distributed runner
+// (src/flow/distributed.hpp, docs/distributed.md).
+//
+//   hlp_worker --manifest <file> --results <file>
+//              [--sa-out <prefix>] [--sa-in <prefix>]
+//              [--jobs <n>] [--coalesce 0|1]
+//
+// Loads a job-slice manifest, runs it through the ordinary in-process
+// ExperimentRunner (seed coalescing and word-parallel simulation
+// included), and writes the results file *atomically* (write to
+// "<file>.tmp", rename) so the parent either sees a complete file or none
+// at all. The switching-activity tables the slice produced are persisted
+// to "<sa-out prefix>.w<width>" (also atomically) for the parent to merge
+// with SaCache::merge_from; "--sa-in" preloads tables from a shared
+// warm-start prefix first, so a worker starts as warm as the parent.
+//
+// Exit status: 0 when the slice ran — including jobs that failed, which
+// report through their serialized JobResult::error, exactly like the
+// in-process runner — nonzero only for infrastructure errors (bad usage,
+// unreadable manifest, unwritable results), with the reason on stderr.
+// The DistributedRunner parent turns a nonzero exit, a signal death, a
+// timeout or a truncated results file into per-job errors for the slice.
+//
+// The binary is deliberately transport-agnostic: the parent runs it via
+// fork/exec on one machine, but the same manifest in / results out
+// contract works over ssh/scp for multi-machine sharding.
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "flow/distributed.hpp"
+#include "flow/experiment.hpp"
+#include "flow/job_io.hpp"
+
+namespace {
+
+struct Options {
+  std::string manifest;
+  std::string results;
+  std::string sa_out;
+  std::string sa_in;
+  int jobs = 1;
+  bool coalesce = true;
+};
+
+[[noreturn]] void usage(const std::string& why) {
+  std::cerr << "hlp_worker: " << why << "\n"
+            << "usage: hlp_worker --manifest <file> --results <file>\n"
+            << "                  [--sa-out <prefix>] [--sa-in <prefix>]\n"
+            << "                  [--jobs <n>] [--coalesce 0|1]\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) usage("flag '" + flag + "' needs a value");
+    const std::string value = argv[++i];
+    if (flag == "--manifest") {
+      opt.manifest = value;
+    } else if (flag == "--results") {
+      opt.results = value;
+    } else if (flag == "--sa-out") {
+      opt.sa_out = value;
+    } else if (flag == "--sa-in") {
+      opt.sa_in = value;
+    } else if (flag == "--jobs") {
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE || v < 1 ||
+          v > INT_MAX)
+        usage("--jobs '" + value + "' must be an integer >= 1");
+      opt.jobs = static_cast<int>(v);
+    } else if (flag == "--coalesce") {
+      if (value != "0" && value != "1") usage("--coalesce must be 0 or 1");
+      opt.coalesce = value == "1";
+    } else {
+      usage("unknown flag '" + flag + "'");
+    }
+  }
+  if (opt.manifest.empty()) usage("--manifest is required");
+  if (opt.results.empty()) usage("--results is required");
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hlp;
+  const Options opt = parse_args(argc, argv);
+  try {
+    const std::vector<flow::ManifestJob> slice =
+        flow::load_manifest_file(opt.manifest);
+
+    flow::ExperimentRunner runner(opt.jobs);
+    runner.set_coalescing(opt.coalesce);
+    // Private SA shard out (run() persists there); shared warm start in.
+    runner.set_sa_cache_path(opt.sa_out);  // empty = no persistence
+    if (!opt.sa_in.empty()) {
+      std::set<int> widths;
+      for (const flow::ManifestJob& mj : slice) widths.insert(mj.job.width);
+      for (const int width : widths) {
+        const std::string file = opt.sa_in + ".w" + std::to_string(width);
+        if (std::ifstream probe(file); probe.good())
+          runner.sa_cache(width).load_file(file);
+      }
+    }
+
+    std::vector<flow::Job> jobs;
+    jobs.reserve(slice.size());
+    for (const flow::ManifestJob& mj : slice) jobs.push_back(mj.job);
+    const std::vector<flow::JobResult> results = runner.run(jobs);
+
+    std::vector<flow::ManifestResult> out;
+    out.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+      out.push_back({slice[i].index, results[i]});
+    flow::save_results_file(opt.results, out);
+
+    std::size_t failed = 0;
+    for (const auto& r : results) failed += r.ok ? 0 : 1;
+    std::cout << "hlp_worker: " << results.size() << " job(s), " << failed
+              << " failed\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hlp_worker: " << e.what() << "\n";
+    return 1;
+  }
+}
