@@ -63,7 +63,7 @@ std::string group_key(const Job& job) {
       << job.binder.alpha << '|' << job.binder.beta_add << '|'
       << job.binder.beta_mult << '|' << job.binder.refine << '|'
       << job.num_vectors << '|' << static_cast<int>(job.sim_engine) << '|'
-      << static_cast<int>(job.simd);
+      << static_cast<int>(job.simd) << '|' << static_cast<int>(job.settle);
   return key.str();
 }
 
@@ -74,6 +74,7 @@ RunSpec spec_for(const Job& job) {
   spec.seed = job.seed;
   spec.sim_engine = job.sim_engine;
   spec.simd = job.simd;
+  spec.settle = job.settle;
   return spec;
 }
 

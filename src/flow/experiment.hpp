@@ -66,6 +66,13 @@ struct Job {
   /// groups are chunked to this width (jobs with different `simd` never
   /// share a chunk).
   SimdMode simd = SimdMode::kAuto;
+  /// Settle strategy for the batched engine (RunSpec::settle): kAuto
+  /// defers to HLP_SETTLE and then self-calibrates per simulator
+  /// instance; event/level force one engine. Bit-identical either way;
+  /// part of the coalescing key (jobs with different `settle` never share
+  /// a run_batch) and of the distributed manifest, so worker processes
+  /// resolve exactly like the parent.
+  SettleMode settle = SettleMode::kAuto;
   /// Free-form tag carried through to the result (display only).
   std::string label;
 };

@@ -273,6 +273,7 @@ void save_manifest(std::ostream& os, const std::vector<ManifestJob>& jobs) {
        << " latency_slack=" << j.sched_spec.latency_slack
        << " engine=" << engine_name(j.sim_engine)
        << " simd=" << simd_mode_name(j.simd)
+       << " settle=" << settle_mode_name(j.settle)
        << " label=" << encode_token(j.label) << "\n";
   }
   os << "end " << kManifestMagic << " " << jobs.size() << "\n";
@@ -309,6 +310,7 @@ std::vector<ManifestJob> load_manifest(std::istream& is) {
     j.sched_spec.latency_slack = f.i("latency_slack");
     j.sim_engine = parse_engine(f.at("engine"));
     j.simd = parse_simd_mode(f.at("simd"));
+    j.settle = parse_settle_mode(f.at("settle"));
     j.label = f.s("label");
     out.push_back(std::move(mj));
   }

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "flow/seed_chunk.hpp"
 #include "netlist/timing.hpp"
+#include "sim/levelize.hpp"
 #include "sim/vectors.hpp"
 
 namespace hlp::flow {
@@ -79,8 +80,13 @@ void stage_map(PipelineState& st) {
 }
 
 void stage_time(PipelineState& st) {
+  // The levelized arrival sweep (levelize.hpp) shares its wavefront
+  // structure with the levelized settle and is bit-identical to
+  // clock_period_ns, so StageCache entries and distributed same_outcome
+  // comparisons are unaffected by the swap.
   st.out.flow.clock_period_ns =
-      clock_period_ns(st.out.flow.mapped.lut_netlist, st.spec.timing);
+      levelized_clock_period_ns(st.out.flow.mapped.lut_netlist,
+                                st.spec.timing);
 }
 
 void stage_simulate(PipelineState& st) {
@@ -97,8 +103,12 @@ void stage_simulate(PipelineState& st) {
   const SimdMode simd = st.spec.sim_engine == SimEngine::kBatched
                             ? effective_simd_mode(st.spec.simd, frames.size())
                             : SimdMode::kU64;
+  // Settle strategy resolves the same way as the width: explicit spec
+  // wins, kAuto consults HLP_SETTLE and then self-calibrates per
+  // simulator instance. Bit-identical either way.
+  const SettleMode settle = effective_settle_mode(st.spec.settle);
   st.out.flow.sim = simulate_frames(st.out.flow.mapped.lut_netlist, frames,
-                                    st.spec.sim_engine, simd);
+                                    st.spec.sim_engine, simd, settle);
 }
 
 // The span of stages whose artifacts a StageCache entry carries. Stages
@@ -260,6 +270,7 @@ std::vector<PipelineOutcome> Pipeline::run_batch(
   // pays full word cost on lanes that can never fill.
   const SimdMode simd =
       batched ? effective_simd_mode(spec.simd, seeds.size()) : SimdMode::kU64;
+  const SettleMode settle = effective_settle_mode(spec.settle);
   const std::size_t chunk_lanes = static_cast<std::size_t>(simd_lanes(simd));
   const auto t0 = Clock::now();
   std::vector<CycleSimStats> sims(seeds.size());
@@ -274,7 +285,7 @@ std::vector<PipelineOutcome> Pipeline::run_batch(
             random_samples(spec.num_vectors, ctx.cdfg().num_inputs(),
                            ctx.width(), seeds[g0 + i]);
       chunk = simulate_seed_chunk(st.out.flow.mapped.lut_netlist, st.datapath,
-                                  lane_samples, simd);
+                                  lane_samples, simd, settle);
     } else {
       std::vector<std::vector<std::vector<char>>> runs(count);
       for (std::size_t i = 0; i < count; ++i) {

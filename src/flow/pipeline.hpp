@@ -64,6 +64,14 @@ struct RunSpec {
   /// changes how many stimulus lanes one netlist traversal settles (64
   /// for u64, up to 512 for avx512).
   SimdMode simd = SimdMode::kAuto;
+  /// Unit-delay settle strategy of the batched engine (ignored for
+  /// kScalar). kAuto defers to the HLP_SETTLE env var and then lets each
+  /// simulator instance calibrate: the first settles are timed alternately
+  /// under the event-driven and levelized engines and the faster one is
+  /// locked in for the rest of the batch. Explicit modes win over the env
+  /// var. Every strategy is bit-identical — like `simd`, this knob only
+  /// moves wall-clock (see docs/architecture.md).
+  SettleMode settle = SettleMode::kAuto;
   /// Consult the context's StageCache for the bind-fus..time artifacts
   /// (hits skip those stages; results are identical either way). Ignored —
   /// always off — on a pipeline whose pre-simulate stages were replace()d,

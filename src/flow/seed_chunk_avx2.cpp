@@ -7,8 +7,9 @@
 namespace hlp::flow::detail {
 
 std::vector<CycleSimStats> simulate_seed_chunk_avx2(
-    const Netlist& n, const Datapath& dp, const LaneSamples& lane_samples) {
-  return simulate_seed_chunk_t<AvxWord256>(n, dp, lane_samples);
+    const Netlist& n, const Datapath& dp, const LaneSamples& lane_samples,
+    SettleMode settle) {
+  return simulate_seed_chunk_t<AvxWord256>(n, dp, lane_samples, settle);
 }
 
 }  // namespace hlp::flow::detail

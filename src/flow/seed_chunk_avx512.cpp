@@ -8,8 +8,9 @@
 namespace hlp::flow::detail {
 
 std::vector<CycleSimStats> simulate_seed_chunk_avx512(
-    const Netlist& n, const Datapath& dp, const LaneSamples& lane_samples) {
-  return simulate_seed_chunk_t<AvxWord512>(n, dp, lane_samples);
+    const Netlist& n, const Datapath& dp, const LaneSamples& lane_samples,
+    SettleMode settle) {
+  return simulate_seed_chunk_t<AvxWord512>(n, dp, lane_samples, settle);
 }
 
 }  // namespace hlp::flow::detail

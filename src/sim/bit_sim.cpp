@@ -72,6 +72,7 @@ GatePlan build_gate_plan(const Netlist& n) {
   for (int gi = 0; gi < num_gates; ++gi) {
     const Gate& g = n.gates()[gi];
     PackedGate& pg = plan.gates[gi];
+    pg.idx = static_cast<std::uint32_t>(gi);
     pg.out = g.out;
     std::uint64_t bits = g.tt.bits() & tt_mask(static_cast<int>(g.ins.size()));
     std::vector<NetId> ins = g.ins;
@@ -203,25 +204,25 @@ void check_frame_arity(const Netlist& n,
 
 CycleSimStats simulate_frames_batched(
     const Netlist& n, const std::vector<std::vector<char>>& frames,
-    SimdMode simd) {
+    SimdMode simd, SettleMode settle) {
   switch (resolve_simd_mode(simd)) {
     case SimdMode::kU64:
-      return simulate_frames_batched_t<std::uint64_t>(n, frames);
+      return simulate_frames_batched_t<std::uint64_t>(n, frames, settle);
     case SimdMode::kX2:
-      return simulate_frames_batched_t<SimdX2>(n, frames);
+      return simulate_frames_batched_t<SimdX2>(n, frames, settle);
     case SimdMode::kX4:
-      return simulate_frames_batched_t<SimdX4>(n, frames);
+      return simulate_frames_batched_t<SimdX4>(n, frames, settle);
     case SimdMode::kX8:
-      return simulate_frames_batched_t<SimdX8>(n, frames);
+      return simulate_frames_batched_t<SimdX8>(n, frames, settle);
     case SimdMode::kAvx2:
 #if defined(HLP_HAVE_AVX2)
-      return detail::simulate_frames_batched_avx2(n, frames);
+      return detail::simulate_frames_batched_avx2(n, frames, settle);
 #else
       break;
 #endif
     case SimdMode::kAvx512:
 #if defined(HLP_HAVE_AVX512)
-      return detail::simulate_frames_batched_avx512(n, frames);
+      return detail::simulate_frames_batched_avx512(n, frames, settle);
 #else
       break;
 #endif
@@ -233,33 +234,34 @@ CycleSimStats simulate_frames_batched(
 
 CycleSimStats simulate_frames(const Netlist& n,
                               const std::vector<std::vector<char>>& frames,
-                              SimEngine engine, SimdMode simd) {
+                              SimEngine engine, SimdMode simd,
+                              SettleMode settle) {
   return engine == SimEngine::kScalar
              ? simulate_frames(n, frames)
-             : simulate_frames_batched(n, frames, simd);
+             : simulate_frames_batched(n, frames, simd, settle);
 }
 
 std::vector<CycleSimStats> simulate_batch(
     const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
-    SimdMode simd) {
+    SimdMode simd, SettleMode settle) {
   switch (resolve_simd_mode(simd)) {
     case SimdMode::kU64:
-      return simulate_batch_t<std::uint64_t>(n, runs);
+      return simulate_batch_t<std::uint64_t>(n, runs, settle);
     case SimdMode::kX2:
-      return simulate_batch_t<SimdX2>(n, runs);
+      return simulate_batch_t<SimdX2>(n, runs, settle);
     case SimdMode::kX4:
-      return simulate_batch_t<SimdX4>(n, runs);
+      return simulate_batch_t<SimdX4>(n, runs, settle);
     case SimdMode::kX8:
-      return simulate_batch_t<SimdX8>(n, runs);
+      return simulate_batch_t<SimdX8>(n, runs, settle);
     case SimdMode::kAvx2:
 #if defined(HLP_HAVE_AVX2)
-      return detail::simulate_batch_avx2(n, runs);
+      return detail::simulate_batch_avx2(n, runs, settle);
 #else
       break;
 #endif
     case SimdMode::kAvx512:
 #if defined(HLP_HAVE_AVX512)
-      return detail::simulate_batch_avx512(n, runs);
+      return detail::simulate_batch_avx512(n, runs, settle);
 #else
       break;
 #endif
@@ -271,8 +273,9 @@ std::vector<CycleSimStats> simulate_batch(
 
 std::vector<CycleSimStats> simulate_runs(
     const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
-    SimEngine engine, SimdMode simd) {
-  if (engine == SimEngine::kBatched) return simulate_batch(n, runs, simd);
+    SimEngine engine, SimdMode simd, SettleMode settle) {
+  if (engine == SimEngine::kBatched)
+    return simulate_batch(n, runs, simd, settle);
   std::vector<CycleSimStats> results;
   results.reserve(runs.size());
   for (const auto& run : runs) results.push_back(simulate_frames(n, run));
@@ -281,7 +284,8 @@ std::vector<CycleSimStats> simulate_runs(
 
 std::vector<CycleSimStats> simulate_batch(
     const std::vector<const Netlist*>& netlists,
-    const std::vector<std::vector<char>>& frames, SimdMode simd) {
+    const std::vector<std::vector<char>>& frames, SimdMode simd,
+    SettleMode settle) {
   for (const Netlist* n : netlists) {
     HLP_REQUIRE(n != nullptr, "null netlist in shared-stimulus batch");
     HLP_REQUIRE(n->inputs().size() == netlists.front()->inputs().size(),
@@ -290,7 +294,7 @@ std::vector<CycleSimStats> simulate_batch(
   std::vector<CycleSimStats> results;
   results.reserve(netlists.size());
   for (const Netlist* n : netlists)
-    results.push_back(simulate_frames_batched(*n, frames, simd));
+    results.push_back(simulate_frames_batched(*n, frames, simd, settle));
   return results;
 }
 

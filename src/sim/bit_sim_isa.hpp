@@ -13,17 +13,22 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/schedule_sim.hpp"
+#include "sim/settle_mode.hpp"
 
 namespace hlp::detail {
 
 CycleSimStats simulate_frames_batched_avx2(
-    const Netlist& n, const std::vector<std::vector<char>>& frames);
+    const Netlist& n, const std::vector<std::vector<char>>& frames,
+    SettleMode settle);
 std::vector<CycleSimStats> simulate_batch_avx2(
-    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs);
+    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
+    SettleMode settle);
 
 CycleSimStats simulate_frames_batched_avx512(
-    const Netlist& n, const std::vector<std::vector<char>>& frames);
+    const Netlist& n, const std::vector<std::vector<char>>& frames,
+    SettleMode settle);
 std::vector<CycleSimStats> simulate_batch_avx512(
-    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs);
+    const Netlist& n, const std::vector<std::vector<std::vector<char>>>& runs,
+    SettleMode settle);
 
 }  // namespace hlp::detail

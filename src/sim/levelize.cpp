@@ -1,0 +1,99 @@
+#include "sim/levelize.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/bit_sim_engine.hpp"
+
+namespace hlp {
+
+namespace detail {
+
+Levelization build_levelization(const GatePlan& plan) {
+  const int num_gates = static_cast<int>(plan.gates.size());
+  // Rank over the *support-reduced* inputs (the CSR list covers every
+  // gate, not just k > 4): the settle only ever reads those, so a net a
+  // gate's function provably ignores must not inflate its level.
+  std::vector<int> net_level(plan.num_nets, 0);
+  std::vector<int> gate_level(num_gates, 1);
+  int max_level = 0;
+  for (const int gi : plan.topo) {
+    const PackedGate& g = plan.gates[gi];
+    const int base = plan.in_start[gi];
+    int lv = 0;
+    for (int j = 0; j < g.k; ++j)
+      lv = std::max(lv, net_level[plan.in_nets[base + j]]);
+    gate_level[gi] = lv + 1;
+    net_level[g.out] = lv + 1;
+    max_level = std::max(max_level, lv + 1);
+  }
+
+  // Counting sort into level-major order; within a level the original
+  // gate order is kept, so the layout is deterministic.
+  Levelization lev;
+  lev.max_level = max_level;
+  std::vector<int> count(max_level + 2, 0);
+  for (int gi = 0; gi < num_gates; ++gi) ++count[gate_level[gi]];
+  lev.level_start.assign(max_level + 2, 0);
+  for (int l = 1; l <= max_level + 1; ++l)
+    lev.level_start[l] = lev.level_start[l - 1] + count[l - 1];
+  lev.gates.resize(num_gates);
+  std::vector<int> cursor(lev.level_start);
+  for (int gi = 0; gi < num_gates; ++gi)
+    lev.gates[cursor[gate_level[gi]]++] = plan.gates[gi];
+  return lev;
+}
+
+}  // namespace detail
+
+int levelized_logic_depth(const Netlist& n) {
+  const auto& gates = n.gates();
+  const int num_gates = n.num_gates();
+  // Timing ranks over the *original* gate fanins — a physical LUT input
+  // pin costs a routing hop whether or not the boolean function collapses
+  // it — which is exactly what net_levels()/depth() measure.
+  std::vector<int> driver(n.num_nets(), -1);
+  for (int gi = 0; gi < num_gates; ++gi) driver[gates[gi].out] = gi;
+  std::vector<int> pending(num_gates, 0);
+  std::vector<std::vector<int>> dependents(num_gates);
+  for (int gi = 0; gi < num_gates; ++gi)
+    for (const NetId in : gates[gi].ins) {
+      const int d = driver[in];
+      if (d >= 0) {
+        ++pending[gi];
+        dependents[d].push_back(gi);
+      }
+    }
+
+  // Arrival sweep: wavefront t holds exactly the gates whose every fanin
+  // arrived by t-1 (sources arrive at 0), so the number of non-empty
+  // wavefronts is the critical depth in LUT levels.
+  std::vector<int> wave, next;
+  for (int gi = 0; gi < num_gates; ++gi)
+    if (pending[gi] == 0) wave.push_back(gi);
+  int depth = 0, ranked = 0;
+  while (!wave.empty()) {
+    ++depth;
+    ranked += static_cast<int>(wave.size());
+    next.clear();
+    for (const int gi : wave)
+      for (const int dep : dependents[gi])
+        if (--pending[dep] == 0) next.push_back(dep);
+    wave.swap(next);
+  }
+  HLP_CHECK(ranked == num_gates,
+            "combinational cycle detected (" << ranked << " of " << num_gates
+                                             << " gates ranked)");
+  return depth;
+}
+
+double levelized_clock_period_ns(const Netlist& n, const TimingModel& model) {
+  const int d = levelized_logic_depth(n);
+  // Identical expression to clock_period_ns over an identical integer
+  // depth: the doubles match bit for bit, which stage caches and the
+  // distributed same_outcome comparison rely on.
+  return d * (model.lut_delay_ns + model.net_delay_ns) + model.reg_overhead_ns;
+}
+
+}  // namespace hlp

@@ -1,0 +1,53 @@
+#include "sim/settle_mode.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hlp {
+
+namespace {
+
+constexpr const char* kAccepted = "auto, event, level";
+
+}  // namespace
+
+const std::vector<SettleMode>& all_settle_modes() {
+  static const std::vector<SettleMode> kModes = {
+      SettleMode::kAuto, SettleMode::kEvent, SettleMode::kLevel};
+  return kModes;
+}
+
+const char* settle_mode_name(SettleMode mode) {
+  switch (mode) {
+    case SettleMode::kAuto:
+      return "auto";
+    case SettleMode::kEvent:
+      return "event";
+    case SettleMode::kLevel:
+      return "level";
+  }
+  HLP_CHECK(false, "invalid SettleMode value");
+}
+
+SettleMode parse_settle_mode(const std::string& value) {
+  for (const SettleMode mode : all_settle_modes())
+    if (value == settle_mode_name(mode)) return mode;
+  HLP_REQUIRE(false, "HLP_SETTLE='" << value
+                                    << "' is not a settle mode (accepted: "
+                                    << kAccepted << ")");
+}
+
+SettleMode settle_mode_from_env(SettleMode fallback) {
+  const char* env = std::getenv("HLP_SETTLE");
+  if (!env || *env == '\0') return fallback;
+  return parse_settle_mode(env);
+}
+
+SettleMode effective_settle_mode(SettleMode requested) {
+  return requested == SettleMode::kAuto
+             ? settle_mode_from_env(SettleMode::kAuto)
+             : requested;
+}
+
+}  // namespace hlp

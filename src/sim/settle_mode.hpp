@@ -1,0 +1,55 @@
+// The HLP_SETTLE knob: which settle strategy the bit-parallel simulation
+// engine uses to propagate staged source changes to quiescence.
+//
+// Both strategies compute the identical unit-delay trajectory (property
+// tested by tests/bit_sim_test.cpp), so the knob only changes wall-clock:
+//
+//   event   dirty-gate event queue (the original engine). Work scales
+//           with the union of per-lane activity — ideal for narrow words
+//           and low-toggle designs, but the dirty set saturates as lanes
+//           widen ("some lane toggled" approaches "every gate toggled").
+//   level   levelized wavefront (src/sim/levelize.hpp): gates are swept
+//           level by level as contiguous 32-byte records with no dirty
+//           tracking at all — branch-predictable, prefetch-friendly, and
+//           insensitive to activity, so it wins exactly where the event
+//           queue drowns (wide words, full lanes).
+//   auto    per-simulator calibration: the first settles of an instance
+//           are timed alternately under each strategy and the winner is
+//           locked in for the rest of the instance's life. Safe because
+//           the strategies are bit-identical — the probe can never change
+//           a result, only the speed of getting it.
+//
+// Parsing is strict, like HLP_SIMD: unset/empty falls back, anything else
+// must be one of the names above or the sweep dies loudly. Unlike SIMD
+// modes, every settle mode is supported on every build and CPU, so there
+// is no resolve/downgrade axis — kAuto is itself a concrete, always-legal
+// engine strategy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hlp {
+
+enum class SettleMode { kAuto, kEvent, kLevel };
+
+/// Every mode, kAuto first (handy for sweeps and option listings).
+const std::vector<SettleMode>& all_settle_modes();
+
+/// Canonical knob spelling: "auto", "event", "level".
+const char* settle_mode_name(SettleMode mode);
+
+/// Strict parse of a knob value (the exact lowercase names above); throws
+/// hlp::Error naming HLP_SETTLE, the offending value and the accepted set.
+SettleMode parse_settle_mode(const std::string& value);
+
+/// HLP_SETTLE env override, else `fallback`. Unset/empty falls back;
+/// garbage throws (strict, like simd_mode_from_env).
+SettleMode settle_mode_from_env(SettleMode fallback = SettleMode::kAuto);
+
+/// The mode a pipeline/runner spec resolves to: an explicit spec wins,
+/// kAuto consults HLP_SETTLE. The result may still be kAuto — that is the
+/// engine's calibrate-per-instance strategy, not an unresolved request.
+SettleMode effective_settle_mode(SettleMode requested);
+
+}  // namespace hlp

@@ -329,10 +329,27 @@ struct WordTraits<AvxWord512> {
     return _mm512_test_epi64_mask(w.v, w.v) != 0;
   }
   static int popcount(const Word& w) {
+#if defined(HLP_HAVE_AVX512VPOPCNT)
+    // AVX512VPOPCNTDQ collapses the 8-limb scalar loop into one vector
+    // popcount + horizontal add. The helper carries its own target
+    // attribute (this TU is only -mavx512f) and is gated on the CPUID bit
+    // once per process — toggle counting is the hottest popcount in the
+    // engine, so the branch is a predictable scalar test.
+    static const bool kHaveVpopcnt =
+        __builtin_cpu_supports("avx512vpopcntdq");
+    if (kHaveVpopcnt) return popcount_vpopcntdq(w);
+#endif
     int c = 0;
     for (int i = 0; i < 8; ++i) c += std::popcount(w.limb[i]);
     return c;
   }
+#if defined(HLP_HAVE_AVX512VPOPCNT)
+  __attribute__((target("avx512f,avx512vpopcntdq"))) static int
+  popcount_vpopcntdq(const Word& w) {
+    return static_cast<int>(
+        _mm512_reduce_add_epi64(_mm512_popcnt_epi64(w.v)));
+  }
+#endif
   static int lane(const Word& w, int l) {
     return static_cast<int>((w.limb[l >> 6] >> (l & 63)) & 1u);
   }

@@ -16,7 +16,9 @@
 #include "common/rng.hpp"
 #include "mapper/techmap.hpp"
 #include "netlist/modules.hpp"
+#include "netlist/timing.hpp"
 #include "sim/bit_sim.hpp"
+#include "sim/levelize.hpp"
 #include "sim/schedule_sim.hpp"
 #include "sim/vectors.hpp"
 
@@ -271,6 +273,126 @@ TEST(BitSimWidths, AutoModeDispatchesAndAgrees) {
   for (std::size_t i = 0; i < runs.size(); ++i)
     expect_identical(reference[i], automatic[i],
                      "auto run " + std::to_string(i));
+}
+
+// ---- settle strategies ---------------------------------------------------
+// The levelized wavefront settle must be bit-identical to the event-driven
+// one — same per-net toggles, functional/glitch split AND step counts — at
+// every word width, on partial words, and across frame-block boundaries.
+
+TEST(BitSimSettle, LevelizedMatchesScalarOnFramesAtEveryWidth) {
+  const Netlist n = random_netlist(95);
+  const int num_inputs = static_cast<int>(n.inputs().size());
+  for (const int num_frames : {1, 130, 513}) {
+    const auto frames = random_vectors(num_frames, num_inputs, 823);
+    const CycleSimStats scalar = simulate_frames(n, frames);
+    for (const SimdMode mode : supported_modes())
+      for (const SettleMode settle : all_settle_modes())
+        expect_identical(
+            scalar, simulate_frames_batched(n, frames, mode, settle),
+            std::string(simd_mode_name(mode)) + "/" +
+                settle_mode_name(settle) + " T=" + std::to_string(num_frames));
+  }
+}
+
+TEST(BitSimSettle, LevelizedMatchesScalarOnBatchRunsAtEveryWidth) {
+  // 70 mixed-length runs: partial words at every width, per-lane freezing,
+  // and the settle_batch touched/before accounting under both engines.
+  const Netlist n = random_netlist(96, 4, 20, 3);
+  const int num_inputs = static_cast<int>(n.inputs().size());
+  std::vector<std::vector<std::vector<char>>> runs;
+  for (int i = 0; i < 70; ++i)
+    runs.push_back(random_vectors(3 + (i % 5), num_inputs, 1700 + i));
+  std::vector<CycleSimStats> scalar;
+  for (const auto& run : runs) scalar.push_back(simulate_frames(n, run));
+  for (const SimdMode mode : supported_modes())
+    for (const SettleMode settle :
+         {SettleMode::kEvent, SettleMode::kLevel, SettleMode::kAuto}) {
+      const auto batched = simulate_batch(n, runs, mode, settle);
+      ASSERT_EQ(batched.size(), runs.size());
+      for (std::size_t i = 0; i < runs.size(); ++i)
+        expect_identical(scalar[i], batched[i],
+                         std::string(simd_mode_name(mode)) + "/" +
+                             settle_mode_name(settle) + " run " +
+                             std::to_string(i));
+    }
+}
+
+TEST(BitSimSettle, LevelizedMatchesEventOnGlitchyMappedNetlist) {
+  // Deep tech-mapped logic with real glitches: if the wavefront sweep got
+  // the unit-delay schedule wrong, the glitch split would diverge first.
+  const MapResult mapped = tech_map(make_multiplier(4));
+  const Netlist& n = mapped.lut_netlist;
+  const auto frames =
+      random_vectors(200, static_cast<int>(n.inputs().size()), 19);
+  const CycleSimStats scalar = simulate_frames(n, frames);
+  EXPECT_GT(scalar.glitch_transitions(), 0u);
+  expect_identical(scalar,
+                   simulate_frames_batched(n, frames, SimdMode::kU64,
+                                           SettleMode::kLevel),
+                   "level on mapped mult");
+}
+
+TEST(BitSimSettle, StepCountsMatchEventDriven) {
+  // Direct engine check: the two strategies report the same settle step
+  // count for the same staged stimulus, net by net and edge by edge.
+  const Netlist n = random_netlist(97, 5, 40, 0);
+  BitSimulator ev(n, SettleMode::kEvent);
+  BitSimulator lv(n, SettleMode::kLevel);
+  ev.settle_zero_delay();
+  lv.settle_zero_delay();
+  Rng rng(271828);
+  const auto& pis = n.inputs();
+  for (int edge = 0; edge < 32; ++edge) {
+    for (const NetId pi : pis) {
+      const std::uint64_t w = rng.next_u64();
+      ev.stage_source(pi, w);
+      lv.stage_source(pi, w);
+    }
+    std::vector<std::uint64_t> tev(n.num_nets(), 0), tlv(n.num_nets(), 0);
+    EXPECT_EQ(ev.settle(&tev), lv.settle(&tlv)) << "edge " << edge;
+    EXPECT_EQ(tev, tlv) << "edge " << edge;
+    EXPECT_EQ(ev.state(), lv.state()) << "edge " << edge;
+  }
+  // Re-staging identical source words must be a zero-step no-op for both.
+  for (const NetId pi : pis) {
+    ev.stage_source(pi, ev.word(pi));
+    lv.stage_source(pi, lv.word(pi));
+  }
+  EXPECT_EQ(ev.settle(nullptr), 0);
+  EXPECT_EQ(lv.settle(nullptr), 0);
+}
+
+TEST(BitSimSettle, AutoProbeLocksInAConcreteStrategy) {
+  const Netlist n = random_netlist(98, 5, 30, 2);
+  BitSimulator sim(n, SettleMode::kAuto);
+  sim.settle_zero_delay();
+  EXPECT_EQ(sim.settle_mode(), SettleMode::kAuto);
+  Rng rng(314159);
+  const auto& pis = n.inputs();
+  for (int edge = 0; edge < 16; ++edge) {
+    for (const NetId pi : pis) sim.stage_source(pi, rng.next_u64());
+    sim.settle(nullptr);
+  }
+  // After the calibration settles the winner is locked in.
+  EXPECT_NE(sim.settle_mode(), SettleMode::kAuto);
+}
+
+// ---- levelized timing ----------------------------------------------------
+
+TEST(LevelizedTiming, ArrivalSweepMatchesNetLevelDepth) {
+  for (std::uint64_t seed : {1u, 7u, 13u}) {
+    const Netlist n = random_netlist(seed, 5, 40, 3);
+    EXPECT_EQ(levelized_logic_depth(n), logic_depth(n)) << "seed " << seed;
+  }
+  const MapResult mapped = tech_map(make_multiplier(4));
+  EXPECT_EQ(levelized_logic_depth(mapped.lut_netlist),
+            logic_depth(mapped.lut_netlist));
+  // Bit-exact doubles, not just close: stage caches and distributed
+  // same_outcome compare clock periods with operator==.
+  const TimingModel model;
+  EXPECT_EQ(levelized_clock_period_ns(mapped.lut_netlist, model),
+            clock_period_ns(mapped.lut_netlist, model));
 }
 
 TEST(BitSimulator, WordEvalMatchesTruthTable) {

@@ -1,12 +1,13 @@
 // Dedicated coverage for the strict env-var parsers: HLP_JOBS
 // (flow::jobs_from_env), HLP_VECTORS (vectors_from_env), HLP_COALESCE
-// (flow::coalesce_from_env) and HLP_SIMD (simd_mode_from_env /
-// resolve_simd_mode). Garbage, negative, zero, overflow and unset inputs
-// each have a pinned behaviour: unset/empty falls back, everything
-// invalid throws — a sweep must die loudly, not run with a silently
-// defaulted configuration. For HLP_SIMD that includes values naming a
-// backend the build or the running CPU cannot honour: an explicit
-// avx2/avx512 request never silently downgrades.
+// (flow::coalesce_from_env), HLP_SIMD (simd_mode_from_env /
+// resolve_simd_mode) and HLP_SETTLE (settle_mode_from_env). Garbage,
+// negative, zero, overflow and unset inputs each have a pinned
+// behaviour: unset/empty falls back, everything invalid throws — a
+// sweep must die loudly, not run with a silently defaulted
+// configuration. For HLP_SIMD that includes values naming a backend the
+// build or the running CPU cannot honour: an explicit avx2/avx512
+// request never silently downgrades.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include "common/error.hpp"
 #include "flow/experiment.hpp"
 #include "rtl/flow.hpp"
+#include "sim/settle_mode.hpp"
 #include "sim/simd_mode.hpp"
 
 namespace hlp {
@@ -262,6 +264,63 @@ TEST(EnvConfig, SimdEffectiveModePrefersExplicitOverEnv) {
   ScopedUnsetEnv unset("HLP_SIMD");
   EXPECT_EQ(effective_simd_mode(SimdMode::kAuto),
             resolve_simd_mode(SimdMode::kAuto));
+}
+
+TEST(EnvConfig, SettleUnsetAndEmptyFallBack) {
+  ScopedUnsetEnv env("HLP_SETTLE");
+  EXPECT_EQ(settle_mode_from_env(), SettleMode::kAuto);
+  EXPECT_EQ(settle_mode_from_env(SettleMode::kLevel), SettleMode::kLevel);
+  env.set("");
+  EXPECT_EQ(settle_mode_from_env(SettleMode::kEvent), SettleMode::kEvent);
+}
+
+TEST(EnvConfig, SettleParsesEveryKnownMode) {
+  ScopedUnsetEnv env("HLP_SETTLE");
+  for (const SettleMode mode : all_settle_modes()) {
+    env.set(settle_mode_name(mode));
+    EXPECT_EQ(settle_mode_from_env(SettleMode::kEvent), mode)
+        << settle_mode_name(mode);
+  }
+}
+
+TEST(EnvConfig, SettleRejectsGarbage) {
+  ScopedUnsetEnv env("HLP_SETTLE");
+  // Strictly the lowercase canonical names: no case folding, no aliases,
+  // no trailing junk.
+  for (const char* bad : {"LEVEL", "Event", "levelized", "event-driven",
+                          "wavefront", "0", "1", "level ", " event", "both"}) {
+    env.set(bad);
+    EXPECT_THROW(settle_mode_from_env(), Error) << "input '" << bad << "'";
+  }
+}
+
+TEST(EnvConfig, SettleErrorNamesTheVariableAndValue) {
+  ScopedUnsetEnv env("HLP_SETTLE");
+  env.set("banana");
+  try {
+    settle_mode_from_env();
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HLP_SETTLE"), std::string::npos);
+    EXPECT_NE(what.find("banana"), std::string::npos);
+    EXPECT_NE(what.find("level"), std::string::npos);  // lists accepted set
+  }
+}
+
+TEST(EnvConfig, SettleEffectiveModePrefersExplicitOverEnv) {
+  ScopedUnsetEnv env("HLP_SETTLE");
+  // Explicit spec wins even when the env var is set...
+  env.set("level");
+  EXPECT_EQ(effective_settle_mode(SettleMode::kEvent), SettleMode::kEvent);
+  // ...and kAuto defers to the env var.
+  EXPECT_EQ(effective_settle_mode(SettleMode::kAuto), SettleMode::kLevel);
+  env.set("event");
+  EXPECT_EQ(effective_settle_mode(SettleMode::kAuto), SettleMode::kEvent);
+  // With nothing set, kAuto stays kAuto: the engine calibrates at runtime
+  // (both engines are bit-identical, so any pick is sound).
+  ScopedUnsetEnv unset("HLP_SETTLE");
+  EXPECT_EQ(effective_settle_mode(SettleMode::kAuto), SettleMode::kAuto);
 }
 
 TEST(EnvConfig, CoalesceEnvSetsTheRunnerDefault) {
