@@ -1,0 +1,59 @@
+#include "flow/dispatch_mode.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace hlp::flow {
+
+namespace {
+
+constexpr const char* kAccepted = "auto, static, stream";
+
+}  // namespace
+
+const std::vector<DispatchMode>& all_dispatch_modes() {
+  static const std::vector<DispatchMode> kModes = {
+      DispatchMode::kAuto, DispatchMode::kStatic, DispatchMode::kStream};
+  return kModes;
+}
+
+const char* dispatch_mode_name(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kAuto:
+      return "auto";
+    case DispatchMode::kStatic:
+      return "static";
+    case DispatchMode::kStream:
+      return "stream";
+  }
+  HLP_CHECK(false, "invalid DispatchMode value");
+}
+
+DispatchMode parse_dispatch_mode(const std::string& value) {
+  for (const DispatchMode mode : all_dispatch_modes())
+    if (value == dispatch_mode_name(mode)) return mode;
+  HLP_REQUIRE(false, "HLP_DISPATCH='" << value
+                                      << "' is not a dispatch mode (accepted: "
+                                      << kAccepted << ")");
+}
+
+DispatchMode dispatch_mode_from_env(DispatchMode fallback) {
+  const char* env = std::getenv("HLP_DISPATCH");
+  if (!env || *env == '\0') return fallback;
+  return parse_dispatch_mode(env);
+}
+
+DispatchMode effective_dispatch_mode(DispatchMode requested) {
+  return requested == DispatchMode::kAuto
+             ? dispatch_mode_from_env(DispatchMode::kAuto)
+             : requested;
+}
+
+DispatchMode resolve_dispatch_mode(DispatchMode requested, int workers) {
+  const DispatchMode mode = effective_dispatch_mode(requested);
+  if (mode != DispatchMode::kAuto) return mode;
+  return workers >= 2 ? DispatchMode::kStream : DispatchMode::kStatic;
+}
+
+}  // namespace hlp::flow

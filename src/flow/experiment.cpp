@@ -80,6 +80,38 @@ RunSpec spec_for(const Job& job) {
 
 }  // namespace
 
+std::vector<WorkUnit> plan_units(const std::vector<Job>& jobs, bool coalesce) {
+  std::vector<WorkUnit> units;
+  if (!coalesce || jobs.size() <= 1) {
+    units.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) units.push_back({{i}, 1});
+    return units;
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  std::map<std::string, std::size_t> group_of_key;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto [it, inserted] =
+        group_of_key.emplace(group_key(jobs[i]), groups.size());
+    if (inserted)
+      groups.push_back({i});
+    else
+      groups[it->second].push_back(i);
+  }
+  for (auto& group : groups) {
+    const std::size_t word_lanes =
+        chunk_lanes_for(jobs[group.front()], group.size());
+    for (std::size_t c0 = 0; c0 < group.size(); c0 += word_lanes) {
+      WorkUnit unit;
+      unit.group_size = group.size();
+      unit.members.assign(
+          group.begin() + c0,
+          group.begin() + std::min(group.size(), c0 + word_lanes));
+      units.push_back(std::move(unit));
+    }
+  }
+  return units;
+}
+
 ExperimentRunner::ExperimentRunner(int num_threads, GraphProvider provider,
                                    SaCache* shared_cache)
     : num_threads_(std::max(1, num_threads)),
@@ -154,55 +186,20 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
     res.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   };
 
-  // Coalesce jobs that differ only in stimulus seed. A unit is one
-  // dispatchable work item: a singleton job, or one word-sized chunk (one
-  // simulator word of seeds — 64 at u64 width, up to 512 under avx512) of
-  // a seed group — chunking lets a group larger than a word spread across
-  // the thread pool while each chunk still fills its lanes. `logical`
-  // records the full group size.
-  struct Unit {
-    std::vector<std::size_t> members;
-    std::size_t logical = 1;
-  };
-  std::vector<Unit> units;
-  if (coalesce_ && jobs.size() > 1) {
-    std::vector<std::vector<std::size_t>> groups;
-    std::map<std::string, std::size_t> group_of_key;
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const auto [it, inserted] =
-          group_of_key.emplace(group_key(jobs[i]), groups.size());
-      if (inserted)
-        groups.push_back({i});
-      else
-        groups[it->second].push_back(i);
-    }
-    for (auto& group : groups) {
-      const std::size_t word_lanes =
-          chunk_lanes_for(jobs[group.front()], group.size());
-      for (std::size_t c0 = 0; c0 < group.size(); c0 += word_lanes) {
-        Unit unit;
-        unit.logical = group.size();
-        unit.members.assign(
-            group.begin() + c0,
-            group.begin() + std::min(group.size(), c0 + word_lanes));
-        units.push_back(std::move(unit));
-      }
-    }
-  } else {
-    units.reserve(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) units.push_back({{i}, 1});
-  }
+  // Coalesce jobs that differ only in stimulus seed (plan_units: one unit
+  // per singleton job or per word-sized chunk of a seed group).
+  const std::vector<WorkUnit> units = plan_units(jobs, coalesce_);
 
-  auto execute_unit = [&](const Unit& unit) {
+  auto execute_unit = [&](const WorkUnit& unit) {
     const std::vector<std::size_t>& members = unit.members;
-    if (unit.logical == 1) {
+    if (unit.group_size == 1) {
       execute(members.front());
       return;
     }
     const auto t0 = Clock::now();
     for (const std::size_t i : members) {
       results[i].job = jobs[i];
-      results[i].group_size = unit.logical;
+      results[i].group_size = unit.group_size;
     }
     try {
       std::vector<std::uint64_t> seeds;

@@ -90,6 +90,27 @@ struct JobResult {
   std::size_t group_size = 1;
 };
 
+/// One dispatchable work item of a run: a singleton job, or one word-sized
+/// chunk (one simulator word of seeds — 64 at u64 width, up to 512 under
+/// avx512) of a seed-coalescing group. Chunking lets a group larger than a
+/// word spread across executors while each chunk still fills its lanes.
+struct WorkUnit {
+  /// Indices into the planned grid, ascending within the unit.
+  std::vector<std::size_t> members;
+  /// Size of the full seed group this unit chunks (1 = ran alone); becomes
+  /// JobResult::group_size of every member.
+  std::size_t group_size = 1;
+};
+
+/// The unit decomposition ExperimentRunner::run executes — and the quantum
+/// the DistributedRunner's streaming dispatch hands to workers: jobs are
+/// grouped by everything except the stimulus seed, and each group is
+/// chunked to its resolved word width. Keeping whole chunks intact across
+/// any executor preserves seed coalescing and lane-aware SIMD sizing, so
+/// every dispatch strategy runs bit-identical pipeline invocations.
+/// `coalesce` off (or a single job) degrades to one singleton unit per job.
+std::vector<WorkUnit> plan_units(const std::vector<Job>& jobs, bool coalesce);
+
 class ExperimentRunner {
  public:
   using GraphProvider = std::function<Cdfg(const std::string&)>;

@@ -532,6 +532,77 @@ std::vector<ManifestResult> load_results_file(const std::string& path) {
   return load_results(f);
 }
 
+// ---- streaming protocol v2 ----------------------------------------------
+
+namespace {
+
+// The `endunit <id>` trailer shared by both frame kinds. Reads through a
+// fresh LineReader so EOF before the trailer throws "truncated".
+void check_unit_trailer(std::istream& is, std::size_t id,
+                        const std::string& what) {
+  LineReader r(is, what);
+  const auto toks = tokens_of(r.next_line());
+  HLP_REQUIRE(toks.size() == 2 && toks[0] == "endunit" &&
+                  parse_u64(toks[1]) == id,
+              what << ": bad 'endunit' trailer (want 'endunit " << id
+                   << "')");
+}
+
+}  // namespace
+
+void save_unit_request(std::ostream& os, std::size_t id,
+                       const std::vector<ManifestJob>& jobs) {
+  os << "unit " << id << "\n";
+  save_manifest(os, jobs);
+  os << "endunit " << id << "\n";
+}
+
+void save_unit_quit(std::ostream& os) { os << "quit\n"; }
+
+UnitRequest load_unit_request(std::istream& is) {
+  const std::string what = "unit request";
+  UnitRequest req;
+  // The opening line is read leniently: end-of-stream here is a clean
+  // quit, not a truncation (the parent may simply close the pipe).
+  std::string line;
+  std::vector<std::string> head;
+  while (std::getline(is, line)) {
+    head = tokens_of(line);
+    if (!head.empty()) break;
+  }
+  if (head.empty() || head[0] == "quit") {
+    req.quit = true;
+    return req;
+  }
+  HLP_REQUIRE(head.size() == 2 && head[0] == "unit",
+              what << ": expected 'unit <id>' or 'quit', got '" << line
+                   << "'");
+  req.id = static_cast<std::size_t>(parse_u64(head[1]));
+  req.jobs = load_manifest(is);
+  check_unit_trailer(is, req.id, what);
+  return req;
+}
+
+void save_unit_response(std::ostream& os, std::size_t id,
+                        const std::vector<ManifestResult>& results) {
+  os << "unitdone " << id << "\n";
+  save_results(os, results);
+  os << "endunit " << id << "\n";
+}
+
+UnitResponse load_unit_response(std::istream& is) {
+  const std::string what = "unit response";
+  LineReader r(is, what);
+  const auto head = tokens_of(r.next_line());
+  HLP_REQUIRE(head.size() == 2 && head[0] == "unitdone",
+              what << ": expected 'unitdone <id>' header");
+  UnitResponse resp;
+  resp.id = static_cast<std::size_t>(parse_u64(head[1]));
+  resp.results = load_results(is);
+  check_unit_trailer(is, resp.id, what);
+  return resp;
+}
+
 // ---- equality ------------------------------------------------------------
 
 bool same_outcome(const JobResult& a, const JobResult& b) {

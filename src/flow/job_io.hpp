@@ -73,6 +73,57 @@ void save_results_file(const std::string& path,
                        const std::vector<ManifestResult>& results);
 std::vector<ManifestResult> load_results_file(const std::string& path);
 
+/// ---- streaming protocol v2 (HLP_DISPATCH=stream) ------------------------
+///
+/// In streaming dispatch the parent and a long-lived `hlp_worker --serve`
+/// process exchange framed per-unit records over stdin/stdout. A request
+/// frame wraps one work unit (a whole seed-coalescing chunk) in the v1
+/// manifest format; a response frame wraps the unit's results in the v1
+/// results format. Both reuse the hexfloat / percent-escape / footer
+/// conventions, and add an `endunit <id>` trailer so a frame cut short by
+/// a dying worker is detectable at the frame level too: the parent only
+/// parses byte ranges that end in a complete trailer line, and a
+/// truncated body still throws through the inner v1 loader.
+///
+///   unit <id>                      unitdone <id>
+///   hlp-manifest v1                hlp-results v1
+///   count K                        count K
+///   job index=... ...              result index=... ... endresult
+///   end hlp-manifest K             end hlp-results K
+///   endunit <id>                   endunit <id>
+///
+/// The request stream ends with a single `quit` line (or EOF), upon which
+/// the worker flushes its SA shard once and exits 0.
+
+/// One parsed request frame. `quit` is set (and the rest empty) when the
+/// stream ended or an explicit `quit` line arrived.
+struct UnitRequest {
+  bool quit = false;
+  std::size_t id = 0;
+  std::vector<ManifestJob> jobs;
+};
+
+/// One parsed response frame: the results of unit `id`.
+struct UnitResponse {
+  std::size_t id = 0;
+  std::vector<ManifestResult> results;
+};
+
+void save_unit_request(std::ostream& os, std::size_t id,
+                       const std::vector<ManifestJob>& jobs);
+void save_unit_quit(std::ostream& os);
+/// Blocking read of the next request frame (the worker's serve loop reads
+/// straight from stdin). EOF before any frame content = quit; a malformed
+/// or truncated frame throws hlp::Error.
+UnitRequest load_unit_request(std::istream& is);
+
+void save_unit_response(std::ostream& os, std::size_t id,
+                        const std::vector<ManifestResult>& results);
+/// Strict parse of one response frame (the parent calls this on a byte
+/// range it already knows ends in an `endunit` trailer): a missing or
+/// mismatched trailer, a truncated body or a malformed record throws.
+UnitResponse load_unit_response(std::istream& is);
+
 /// Result equality over every serialised field EXCEPT execution metadata
 /// (seconds, per-stage timings, group_size, cached_stages — wall clock and
 /// batching shape legitimately differ between a threaded run and a

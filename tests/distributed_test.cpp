@@ -1,16 +1,23 @@
 // Tests for the distributed runner stack (src/flow/job_io, distributed,
-// tools/hlp_worker): wire-format round trips are exact and truncation-
-// detecting, a multi-process run is bit-identical to the in-process
-// threaded runner on a randomized job grid, worker failures (nonzero
-// exit, death by signal, truncated output, timeout) propagate into
-// per-job errors, and SA-table shards merge into a shared warm-start
-// file.
+// tools/hlp_worker): wire-format round trips (v1 files and v2 streaming
+// frames) are exact and truncation-detecting, a multi-process run is
+// bit-identical to the in-process threaded runner on a randomized job
+// grid under BOTH dispatch modes, worker failures (nonzero exit, death
+// by signal, invalid frames, truncated output, per-unit timeout)
+// propagate into per-job errors — with bounded requeue first in
+// streaming dispatch — and SA-table shards merge into a shared
+// warm-start file, staying warm across units inside one serve-mode
+// worker.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -69,6 +76,15 @@ std::string write_fake_worker(const std::string& name,
   }
   EXPECT_EQ(::chmod(path.c_str(), 0755), 0);
   return path;
+}
+
+// The real hlp_worker binary, which the build puts next to this test.
+std::string real_worker_binary() {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) return "";
+  return (self.parent_path() / "hlp_worker").string();
 }
 
 // ---- wire format ---------------------------------------------------------
@@ -227,6 +243,77 @@ TEST(JobIo, TruncatedAndCorruptResultsRejected) {
   EXPECT_THROW(flow::load_results(not_results), Error);
 }
 
+TEST(JobIo, UnitRequestFrameRoundTripQuitAndTruncation) {
+  std::vector<flow::ManifestJob> jobs;
+  flow::ManifestJob a;
+  a.index = 42;
+  a.job = small_job("pr");
+  a.job.seed = 0x0123456789abcdefull;
+  a.job.label = "unit label with % and spaces";
+  jobs.push_back(a);
+
+  std::ostringstream text;
+  flow::save_unit_request(text, 9, jobs);
+  const std::string full = text.str();
+
+  std::istringstream in(full);
+  const flow::UnitRequest back = flow::load_unit_request(in);
+  EXPECT_FALSE(back.quit);
+  EXPECT_EQ(back.id, 9u);
+  ASSERT_EQ(back.jobs.size(), 1u);
+  EXPECT_EQ(back.jobs[0].index, 42u);
+  EXPECT_EQ(back.jobs[0].job.seed, 0x0123456789abcdefull);
+  EXPECT_EQ(back.jobs[0].job.label, "unit label with % and spaces");
+
+  // EOF and an explicit quit line both end the session cleanly.
+  std::istringstream eof("");
+  EXPECT_TRUE(flow::load_unit_request(eof).quit);
+  std::ostringstream quit_text;
+  flow::save_unit_quit(quit_text);
+  std::istringstream quit_in(quit_text.str());
+  EXPECT_TRUE(flow::load_unit_request(quit_in).quit);
+
+  // A frame cut anywhere inside the body or trailer throws — a serve
+  // worker whose parent died mid-write must not run a partial unit.
+  for (const double frac : {0.3, 0.6, 0.95}) {
+    std::istringstream cut(
+        full.substr(0, static_cast<std::size_t>(full.size() * frac)));
+    EXPECT_THROW(flow::load_unit_request(cut), Error) << "fraction " << frac;
+  }
+  // A trailer answering the wrong unit throws too.
+  std::string wrong = full;
+  wrong.replace(wrong.rfind("endunit 9"), 9, "endunit 8");
+  std::istringstream wrong_in(wrong);
+  EXPECT_THROW(flow::load_unit_request(wrong_in), Error);
+}
+
+TEST(JobIo, UnitResponseFrameRoundTripAndTruncation) {
+  std::vector<flow::ManifestResult> results = {synthetic_result()};
+  std::ostringstream text;
+  flow::save_unit_response(text, 31, results);
+  const std::string full = text.str();
+
+  std::istringstream in(full);
+  const flow::UnitResponse back = flow::load_unit_response(in);
+  EXPECT_EQ(back.id, 31u);
+  ASSERT_EQ(back.results.size(), 1u);
+  EXPECT_EQ(back.results[0].index, 7u);
+  EXPECT_TRUE(
+      flow::same_outcome(results[0].result, back.results[0].result));
+
+  for (const double frac : {0.2, 0.5, 0.9}) {
+    std::istringstream cut(
+        full.substr(0, static_cast<std::size_t>(full.size() * frac)));
+    EXPECT_THROW(flow::load_unit_response(cut), Error) << "fraction " << frac;
+  }
+  std::istringstream not_a_response("quit\n");
+  EXPECT_THROW(flow::load_unit_response(not_a_response), Error);
+  std::string wrong = full;
+  wrong.replace(wrong.rfind("endunit 31"), 10, "endunit 30");
+  std::istringstream wrong_in(wrong);
+  EXPECT_THROW(flow::load_unit_response(wrong_in), Error);
+}
+
 // ---- the distributed == threaded property --------------------------------
 
 TEST(Distributed, BitIdenticalToThreadedRunnerOnRandomGrid) {
@@ -253,6 +340,41 @@ TEST(Distributed, BitIdenticalToThreadedRunnerOnRandomGrid) {
   }
   // Exactly the bad-benchmark job fails, identically on both sides.
   EXPECT_EQ(failed_jobs, 1u);
+}
+
+TEST(Distributed, StreamStaticAndThreadedAgreeOnRandomGrid) {
+  // The dispatch knob only changes scheduling: on the same randomized
+  // 100+ job grid, work-stealing streaming, contiguous static slices and
+  // the in-process threaded runner must agree on every bit of every
+  // result, no matter which worker pulled which unit.
+  const std::vector<flow::Job> jobs = property_grid();
+
+  flow::ExperimentRunner threaded(3);
+  const auto want = threaded.run(jobs);
+
+  flow::DistributedRunner stat(2, 2);
+  stat.set_dispatch(flow::DispatchMode::kStatic);
+  const auto got_static = stat.run(jobs);
+
+  flow::DistributedRunner stream(2, 2);
+  stream.set_dispatch(flow::DispatchMode::kStream);
+  const auto got_stream = stream.run(jobs);
+
+  ASSERT_EQ(got_static.size(), want.size());
+  ASSERT_EQ(got_stream.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(flow::same_outcome(want[i], got_static[i]))
+        << "job " << i << " diverged threaded vs static; static error: '"
+        << got_static[i].error << "'";
+    EXPECT_TRUE(flow::same_outcome(want[i], got_stream[i]))
+        << "job " << i << " (" << jobs[i].benchmark << "/"
+        << jobs[i].binder.name << " seed " << jobs[i].seed
+        << ") diverged threaded vs stream; stream error: '"
+        << got_stream[i].error << "'";
+    // Streaming reports the full seed-group size the threaded runner
+    // would, not the chunk the worker happened to see.
+    EXPECT_EQ(got_stream[i].group_size, want[i].group_size) << "job " << i;
+  }
 }
 
 TEST(Distributed, WorkersInheritSettleModeAndStayBitIdentical) {
@@ -312,9 +434,11 @@ TEST(Distributed, SingleJobGridDoesNotSpawn) {
 
 // ---- worker failure propagation ------------------------------------------
 
-std::vector<flow::JobResult> run_with_fake_worker(const std::string& script,
-                                                  double timeout = 0.0) {
+std::vector<flow::JobResult> run_with_fake_worker(
+    const std::string& script, double timeout = 0.0,
+    flow::DispatchMode dispatch = flow::DispatchMode::kAuto) {
   flow::DistributedRunner dist(2, 1);
+  dist.set_dispatch(dispatch);
   dist.set_worker_binary(script);
   if (timeout > 0.0) dist.set_timeout(timeout);
   return dist.run({small_job("pr"), small_job("wang"), small_job("pr")});
@@ -350,6 +474,9 @@ TEST(Distributed, KilledWorkerPropagatesSignal) {
 TEST(Distributed, TruncatedResultsFilePropagates) {
   // A worker that exits 0 but leaves a results file with no records and
   // no footer — e.g. one that died in a way the OS reported as success.
+  // This is a batch-protocol (v1 results file) defect, so the test pins
+  // static dispatch; the streaming analogue is the truncated-frame and
+  // invalid-response coverage below.
   const std::string script = write_fake_worker(
       "worker_truncate.sh",
       "out=\"\"\n"
@@ -359,7 +486,8 @@ TEST(Distributed, TruncatedResultsFilePropagates) {
       "done\n"
       "printf 'hlp-results v1\\ncount 2\\n' > \"$out\"\n"
       "exit 0");
-  const auto got = run_with_fake_worker(script);
+  const auto got =
+      run_with_fake_worker(script, 0.0, flow::DispatchMode::kStatic);
   ASSERT_EQ(got.size(), 3u);
   for (const auto& r : got) {
     EXPECT_FALSE(r.ok);
@@ -381,6 +509,230 @@ TEST(Distributed, HungWorkerTimesOutAndIsKilled) {
     EXPECT_NE(r.error.find("timed out"), std::string::npos) << r.error;
   }
   EXPECT_LT(elapsed, 10.0) << "workers were not killed at the deadline";
+}
+
+// ---- streaming-dispatch fault handling -----------------------------------
+
+TEST(Distributed, StreamCrashRequeuesThenNamesUnitAndAttempts) {
+  // Every spawn dies mid-stream: each unit is retried on a replacement
+  // worker, then reports a per-job error naming the unit, the attempt
+  // count and the worker's captured stderr.
+  const std::string script = write_fake_worker(
+      "stream_exit3.sh", "echo doom from the worker >&2\nexit 3");
+  const auto got =
+      run_with_fake_worker(script, 0.0, flow::DispatchMode::kStream);
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("streaming unit"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("failed after 2 attempt(s)"), std::string::npos)
+        << r.error;
+    EXPECT_NE(r.error.find("exited with status 3"), std::string::npos)
+        << r.error;
+    EXPECT_NE(r.error.find("doom from the worker"), std::string::npos)
+        << r.error;
+  }
+}
+
+TEST(Distributed, StreamKill9RequeuesThenPropagatesSignal) {
+  const std::string script =
+      write_fake_worker("stream_kill9.sh", "kill -9 $$");
+  const auto got =
+      run_with_fake_worker(script, 0.0, flow::DispatchMode::kStream);
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("killed by signal 9"), std::string::npos)
+        << r.error;
+    EXPECT_NE(r.error.find("attempt(s)"), std::string::npos) << r.error;
+  }
+}
+
+TEST(Distributed, StreamInvalidResponseFrameKillsAndRetries) {
+  // A worker that answers with a well-framed but bodiless response: the
+  // frame parses up to the trailer, the inner results parse throws, the
+  // parent kills the worker and charges the unit an attempt.
+  const std::string script = write_fake_worker(
+      "stream_garbage.sh",
+      "printf 'unitdone 0\\nendunit 0\\n'\n"
+      "sleep 30");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto got =
+      run_with_fake_worker(script, 0.0, flow::DispatchMode::kStream);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("invalid unit response"), std::string::npos)
+        << r.error;
+  }
+  EXPECT_LT(elapsed, 10.0) << "protocol violators were not killed";
+}
+
+TEST(Distributed, StreamHungUnitTimesOutPerUnit) {
+  // Streaming timeouts are per unit: a hung worker costs its unit one
+  // attempt (plus the retry), never the whole run.
+  const std::string script =
+      write_fake_worker("stream_hang.sh", "sleep 30");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto got =
+      run_with_fake_worker(script, 0.3, flow::DispatchMode::kStream);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& r : got) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("timed out"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("attempt(s)"), std::string::npos) << r.error;
+  }
+  EXPECT_LT(elapsed, 10.0) << "hung workers were not killed per unit";
+}
+
+TEST(Distributed, StreamRequeueRecoversOnHealthyReplacement) {
+  // Exactly one spawn crashes (mkdir is the atomic test-and-set); every
+  // later spawn execs the real worker. The crashed worker's in-flight
+  // unit must land on a replacement and succeed — same bits as the
+  // threaded runner, no error anywhere.
+  const std::string real = real_worker_binary();
+  ASSERT_EQ(::access(real.c_str(), X_OK), 0)
+      << "hlp_worker not built next to the test binary";
+  const std::string lock = ::testing::TempDir() + "/stream_flaky.lock";
+  std::filesystem::remove_all(lock);
+  const std::string script = write_fake_worker(
+      "stream_flaky.sh",
+      "if mkdir '" + lock +
+          "' 2>/dev/null; then\n"
+          "  echo first spawn dies >&2\n"
+          "  exit 7\n"
+          "fi\n"
+          "exec '" +
+          real + "' \"$@\"");
+
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 5; ++s) seeds.push_back(800 + s);
+  const auto jobs = flow::ExperimentRunner::grid(
+      {"pr", "wang"}, {flow::BinderSpec{"hlpower"}}, seeds, {},
+      small_job("pr"));
+  flow::ExperimentRunner threaded(2);
+  const auto want = threaded.run(jobs);
+
+  flow::DistributedRunner dist(2, 1);
+  dist.set_dispatch(flow::DispatchMode::kStream);
+  dist.set_worker_binary(script);
+  const auto got = dist.run(jobs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].ok) << "job " << i << ": " << got[i].error;
+    EXPECT_TRUE(flow::same_outcome(want[i], got[i])) << "job " << i;
+  }
+}
+
+// ---- the serve loop, driven directly over pipes --------------------------
+
+TEST(Distributed, ServeLoopStaysWarmAcrossUnitsAndFlushesSaOnce) {
+  const std::string bin = real_worker_binary();
+  ASSERT_EQ(::access(bin.c_str(), X_OK), 0)
+      << "hlp_worker not built next to the test binary";
+  const std::string prefix = ::testing::TempDir() + "/serve_sa";
+  const std::string shard = prefix + ".w" + std::to_string(kWidth);
+  std::remove(shard.c_str());
+
+  int to_child[2], from_child[2];
+  ASSERT_EQ(::pipe(to_child), 0);
+  ASSERT_EQ(::pipe(from_child), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(to_child[0], 0);
+    ::dup2(from_child[1], 1);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    ::execl(bin.c_str(), bin.c_str(), "--serve", "--sa-out", prefix.c_str(),
+            "--coalesce", "1", static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  auto send = [&](const std::string& s) {
+    ASSERT_EQ(::write(to_child[1], s.data(), s.size()),
+              static_cast<ssize_t>(s.size()));
+  };
+  // Blocking read until one complete frame (through its `endunit` line)
+  // has arrived.
+  auto read_frame = [&]() {
+    std::string buf;
+    char chunk[4096];
+    while (true) {
+      const std::size_t tail = buf.rfind("endunit ");
+      if (tail != std::string::npos &&
+          (tail == 0 || buf[tail - 1] == '\n') &&
+          buf.find('\n', tail) != std::string::npos)
+        return buf;
+      const ssize_t got = ::read(from_child[0], chunk, sizeof(chunk));
+      if (got <= 0) return buf;  // EOF: let the parse report the defect
+      buf.append(chunk, static_cast<std::size_t>(got));
+    }
+  };
+
+  flow::Job first = small_job("pr");
+  first.seed = 900;
+  flow::Job second = small_job("pr");
+  second.seed = 901;
+
+  std::ostringstream req0;
+  flow::save_unit_request(req0, 0, {{5, first}});
+  send(req0.str());
+  std::istringstream in0(read_frame());
+  const flow::UnitResponse r0 = flow::load_unit_response(in0);
+  EXPECT_EQ(r0.id, 0u);
+  ASSERT_EQ(r0.results.size(), 1u);
+  EXPECT_EQ(r0.results[0].index, 5u);
+  EXPECT_TRUE(r0.results[0].result.ok) << r0.results[0].result.error;
+  // A fresh worker computed everything for its first unit.
+  EXPECT_TRUE(r0.results[0].result.outcome.cached_stages.empty());
+  // The SA shard is flushed once at exit — not after each unit.
+  EXPECT_FALSE(std::filesystem::exists(shard));
+
+  std::ostringstream req1;
+  flow::save_unit_request(req1, 1, {{6, second}});
+  send(req1.str());
+  std::istringstream in1(read_frame());
+  const flow::UnitResponse r1 = flow::load_unit_response(in1);
+  EXPECT_EQ(r1.id, 1u);
+  ASSERT_EQ(r1.results.size(), 1u);
+  EXPECT_TRUE(r1.results[0].result.ok) << r1.results[0].result.error;
+  // Same design, new stimulus seed: the second unit rides the warm
+  // StageCaches the first one populated — the whole point of a
+  // long-lived serve worker.
+  EXPECT_FALSE(r1.results[0].result.outcome.cached_stages.empty());
+
+  // Both units answer with the bits the in-process runner produces.
+  flow::ExperimentRunner local(1);
+  const auto want = local.run({first, second});
+  EXPECT_TRUE(flow::same_outcome(want[0], r0.results[0].result));
+  EXPECT_TRUE(flow::same_outcome(want[1], r1.results[0].result));
+
+  std::ostringstream quit;
+  flow::save_unit_quit(quit);
+  send(quit.str());
+  ::close(to_child[1]);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ::close(from_child[0]);
+
+  // Now — and only now — the shard exists, is complete, and holds the
+  // tables both units contributed to.
+  ASSERT_TRUE(std::filesystem::exists(shard));
+  SaCache reloaded(kWidth);
+  reloaded.load_file(shard);
+  EXPECT_GT(reloaded.size(), 0u);
 }
 
 // ---- SA-table shard merging through the distributed path -----------------

@@ -1,29 +1,45 @@
 // hlp_worker — the worker-process half of the distributed runner
 // (src/flow/distributed.hpp, docs/distributed.md).
 //
-//   hlp_worker --manifest <file> --results <file>
+//   hlp_worker --manifest <file> --results <file>     (batch, protocol v1)
+//              [--sa-out <prefix>] [--sa-in <prefix>]
+//              [--jobs <n>] [--coalesce 0|1]
+//   hlp_worker --serve                                (stream, protocol v2)
 //              [--sa-out <prefix>] [--sa-in <prefix>]
 //              [--jobs <n>] [--coalesce 0|1]
 //
-// Loads a job-slice manifest, runs it through the ordinary in-process
-// ExperimentRunner (seed coalescing and word-parallel simulation
-// included), and writes the results file *atomically* (write to
-// "<file>.tmp", rename) so the parent either sees a complete file or none
-// at all. The switching-activity tables the slice produced are persisted
-// to "<sa-out prefix>.w<width>" (also atomically) for the parent to merge
-// with SaCache::merge_from; "--sa-in" preloads tables from a shared
-// warm-start prefix first, so a worker starts as warm as the parent.
+// Batch mode (HLP_DISPATCH=static): loads a job-slice manifest, runs it
+// through the ordinary in-process ExperimentRunner (seed coalescing and
+// word-parallel simulation included), and writes the results file
+// *atomically* (write to "<file>.tmp", rename) so the parent either sees
+// a complete file or none at all.
 //
-// Exit status: 0 when the slice ran — including jobs that failed, which
+// Serve mode (HLP_DISPATCH=stream): a long-lived loop that reads framed
+// unit requests from stdin and writes framed unit responses to stdout
+// (flow/job_io.hpp, protocol v2) until a `quit` line or EOF. One
+// ExperimentRunner lives for the whole session, so FlowContexts,
+// StageCaches and SA tables stay warm across units — later units of the
+// same design reuse the schedule/binding/map artifacts the first one
+// computed. Stdout belongs to the protocol; diagnostics go to stderr.
+//
+// Either way, the switching-activity tables the work produced are
+// persisted to "<sa-out prefix>.w<width>" (atomically; in serve mode once,
+// at exit) for the parent to merge with SaCache::merge_from; "--sa-in"
+// preloads tables from a shared warm-start prefix first, so a worker
+// starts as warm as the parent.
+//
+// Exit status: 0 when the work ran — including jobs that failed, which
 // report through their serialized JobResult::error, exactly like the
 // in-process runner — nonzero only for infrastructure errors (bad usage,
-// unreadable manifest, unwritable results), with the reason on stderr.
-// The DistributedRunner parent turns a nonzero exit, a signal death, a
-// timeout or a truncated results file into per-job errors for the slice.
+// unreadable manifest, unwritable results, a broken protocol stream),
+// with the reason on stderr. The DistributedRunner parent turns a nonzero
+// exit, a signal death, a timeout or truncated output into per-job (batch:
+// per-slice; serve: per-unit, with bounded requeue first) errors.
 //
 // The binary is deliberately transport-agnostic: the parent runs it via
-// fork/exec on one machine, but the same manifest in / results out
-// contract works over ssh/scp for multi-machine sharding.
+// fork/exec on one machine, but the same manifest/results contract works
+// over ssh/scp — and the serve loop over any byte stream — for
+// multi-machine sharding.
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
@@ -48,12 +64,16 @@ struct Options {
   std::string sa_in;
   int jobs = 1;
   bool coalesce = true;
+  bool serve = false;
 };
 
 [[noreturn]] void usage(const std::string& why) {
   std::cerr << "hlp_worker: " << why << "\n"
             << "usage: hlp_worker --manifest <file> --results <file>\n"
             << "                  [--sa-out <prefix>] [--sa-in <prefix>]\n"
+            << "                  [--jobs <n>] [--coalesce 0|1]\n"
+            << "   or: hlp_worker --serve [--sa-out <prefix>] "
+               "[--sa-in <prefix>]\n"
             << "                  [--jobs <n>] [--coalesce 0|1]\n";
   std::exit(2);
 }
@@ -62,6 +82,10 @@ Options parse_args(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--serve") {
+      opt.serve = true;
+      continue;
+    }
     if (i + 1 >= argc) usage("flag '" + flag + "' needs a value");
     const std::string value = argv[++i];
     if (flag == "--manifest") {
@@ -87,50 +111,114 @@ Options parse_args(int argc, char** argv) {
       usage("unknown flag '" + flag + "'");
     }
   }
-  if (opt.manifest.empty()) usage("--manifest is required");
-  if (opt.results.empty()) usage("--results is required");
+  if (opt.serve) {
+    if (!opt.manifest.empty() || !opt.results.empty())
+      usage("--serve takes units over stdin, not --manifest/--results");
+  } else {
+    if (opt.manifest.empty()) usage("--manifest is required");
+    if (opt.results.empty()) usage("--results is required");
+  }
   return opt;
 }
 
-}  // namespace
+// Preload the shared warm-start table for every width in `jobs` that has
+// not been preloaded yet. Must run before the first job of a width
+// computes anything, which is why the serve loop calls it per unit.
+void preload_sa(hlp::flow::ExperimentRunner& runner, const std::string& sa_in,
+                const std::vector<hlp::flow::ManifestJob>& jobs,
+                std::set<int>& preloaded) {
+  if (sa_in.empty()) return;
+  for (const hlp::flow::ManifestJob& mj : jobs) {
+    if (!preloaded.insert(mj.job.width).second) continue;
+    const std::string file = sa_in + ".w" + std::to_string(mj.job.width);
+    if (std::ifstream probe(file); probe.good())
+      runner.sa_cache(mj.job.width).load_file(file);
+  }
+}
 
-int main(int argc, char** argv) {
+int run_batch(const Options& opt) {
   using namespace hlp;
-  const Options opt = parse_args(argc, argv);
-  try {
-    const std::vector<flow::ManifestJob> slice =
-        flow::load_manifest_file(opt.manifest);
+  const std::vector<flow::ManifestJob> slice =
+      flow::load_manifest_file(opt.manifest);
 
-    flow::ExperimentRunner runner(opt.jobs);
-    runner.set_coalescing(opt.coalesce);
-    // Private SA shard out (run() persists there); shared warm start in.
-    runner.set_sa_cache_path(opt.sa_out);  // empty = no persistence
-    if (!opt.sa_in.empty()) {
-      std::set<int> widths;
-      for (const flow::ManifestJob& mj : slice) widths.insert(mj.job.width);
-      for (const int width : widths) {
-        const std::string file = opt.sa_in + ".w" + std::to_string(width);
-        if (std::ifstream probe(file); probe.good())
-          runner.sa_cache(width).load_file(file);
-      }
-    }
+  flow::ExperimentRunner runner(opt.jobs);
+  runner.set_coalescing(opt.coalesce);
+  // Private SA shard out (run() persists there); shared warm start in.
+  runner.set_sa_cache_path(opt.sa_out);  // empty = no persistence
+  std::set<int> preloaded;
+  preload_sa(runner, opt.sa_in, slice, preloaded);
+
+  std::vector<flow::Job> jobs;
+  jobs.reserve(slice.size());
+  for (const flow::ManifestJob& mj : slice) jobs.push_back(mj.job);
+  const std::vector<flow::JobResult> results = runner.run(jobs);
+
+  std::vector<flow::ManifestResult> out;
+  out.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i)
+    out.push_back({slice[i].index, results[i]});
+  flow::save_results_file(opt.results, out);
+
+  std::size_t failed = 0;
+  for (const auto& r : results) failed += r.ok ? 0 : 1;
+  std::cout << "hlp_worker: " << results.size() << " job(s), " << failed
+            << " failed\n";
+  return 0;
+}
+
+int run_serve(const Options& opt) {
+  using namespace hlp;
+  flow::ExperimentRunner runner(opt.jobs);
+  runner.set_coalescing(opt.coalesce);
+  // No persistence path while serving: run() must not flush the SA tables
+  // after every unit (and must not inherit HLP_SA_CACHE from the parent's
+  // environment) — the shard is written once, at exit.
+  runner.set_sa_cache_path("");
+  std::set<int> preloaded;
+
+  std::size_t units = 0, jobs_run = 0, failed = 0;
+  while (true) {
+    const flow::UnitRequest req = flow::load_unit_request(std::cin);
+    if (req.quit) break;
+    preload_sa(runner, opt.sa_in, req.jobs, preloaded);
 
     std::vector<flow::Job> jobs;
-    jobs.reserve(slice.size());
-    for (const flow::ManifestJob& mj : slice) jobs.push_back(mj.job);
+    jobs.reserve(req.jobs.size());
+    for (const flow::ManifestJob& mj : req.jobs) jobs.push_back(mj.job);
     const std::vector<flow::JobResult> results = runner.run(jobs);
 
     std::vector<flow::ManifestResult> out;
     out.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i)
-      out.push_back({slice[i].index, results[i]});
-    flow::save_results_file(opt.results, out);
+      out.push_back({req.jobs[i].index, results[i]});
+    flow::save_unit_response(std::cout, req.id, out);
+    std::cout.flush();
+    HLP_REQUIRE(std::cout.good(),
+                "write of unit " << req.id << " response failed");
 
-    std::size_t failed = 0;
+    ++units;
+    jobs_run += results.size();
     for (const auto& r : results) failed += r.ok ? 0 : 1;
-    std::cout << "hlp_worker: " << results.size() << " job(s), " << failed
-              << " failed\n";
-    return 0;
+  }
+
+  // Flush the SA shard exactly once, after the whole session: every unit
+  // served (across all designs and widths) contributed to the same warm
+  // tables.
+  if (!opt.sa_out.empty()) {
+    runner.set_sa_cache_path(opt.sa_out);
+    runner.persist_sa_caches();
+  }
+  std::cerr << "hlp_worker: served " << units << " unit(s), " << jobs_run
+            << " job(s), " << failed << " failed\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  try {
+    return opt.serve ? run_serve(opt) : run_batch(opt);
   } catch (const std::exception& e) {
     std::cerr << "hlp_worker: " << e.what() << "\n";
     return 1;
