@@ -15,6 +15,8 @@
 #include "common/table.hpp"
 #include "core/hlpower.hpp"
 #include "power/activity.hpp"
+#include "power/exact_activity.hpp"
+#include "power/sa_mode.hpp"
 #include "rtl/partial_datapath.hpp"
 
 namespace {
@@ -76,7 +78,7 @@ void print_batched_vs_scalar() {
                 "identical"});
   double total_scalar = 0.0, total_batched = 0.0;
   for (int kind = 0; kind < kNumOpKinds; ++kind)
-    for (const auto [a, b] : {std::pair{1, 1}, {2, 2}, {4, 4}}) {
+    for (const auto& [a, b] : {std::pair{1, 1}, {2, 2}, {4, 4}}) {
       const OpKind k = static_cast<OpKind>(kind);
       const Netlist dp = make_partial_datapath(k, a, b, bench_width());
       const MapResult mapped = tech_map(dp);
@@ -110,6 +112,50 @@ void print_batched_vs_scalar() {
             << "x\n\n";
 }
 
+// The three SA backends side by side on the precalc table's grid: the
+// closed-form estimate, the seeded Monte-Carlo run, and the budgeted
+// exact BDD engine. The exact column is the reference: the deltas show
+// what each cheaper backend trades away, and the cones column shows how
+// much of the "exact" number really was analytic (multiplier cones blow
+// the default HLP_EXACT_BUDGET and fall back per cone by design).
+void print_mode_comparison() {
+  using namespace hlp;
+  using namespace hlp::bench;
+  SaCache est(bench_width(), MapParams{}, SaMode::kEstimated);
+  SaCache sim(bench_width(), MapParams{}, SaMode::kSimulated);
+  SaCache exact(bench_width(), MapParams{}, SaMode::kExact);
+  AsciiTable t({"kind/muxA/muxB", "estimate", "sim", "exact", "est-exact",
+                "sim-exact", "exact cones"});
+  for (int kind = 0; kind < kNumOpKinds; ++kind)
+    for (const auto& [a, b] : {std::pair{1, 1}, {2, 2}, {4, 4}}) {
+      const OpKind k = static_cast<OpKind>(kind);
+      const double e = est.switching_activity(k, a, b);
+      const double s = sim.switching_activity(k, a, b);
+      const double x = exact.switching_activity(k, a, b);
+      // Re-run the exact engine directly for the per-cone attribution the
+      // scalar cache value cannot carry.
+      const Netlist dp = make_partial_datapath(k, a, b, bench_width());
+      const ExactActivityResult r = exact_activity(tech_map(dp).lut_netlist);
+      t.row()
+          .add(std::string(to_string(k)) + "/" + std::to_string(a) + "/" +
+               std::to_string(b))
+          .add(e, 3)
+          .add(s, 3)
+          .add(x, 3)
+          .add(e - x, 3)
+          .add(s - x, 3)
+          .add(std::to_string(r.num_exact) + "/" +
+               std::to_string(r.num_exact + r.num_sampled) +
+               (r.fell_back ? " (hybrid)" : ""));
+    }
+  std::cout << "SA backends: estimate vs sim vs exact (HLP_SA_MODE)\n";
+  t.print(std::cout);
+  std::cout << "exact cones column: nets answered analytically / total;"
+               " (hybrid) rows had cones past HLP_EXACT_BUDGET="
+            << exact_budget_from_env(kDefaultExactBudget)
+            << " answered by the Monte-Carlo fallback\n\n";
+}
+
 void BM_SaLookupWarm(benchmark::State& state) {
   using namespace hlp;
   auto& cache = hlp::bench::sa_cache();
@@ -131,6 +177,7 @@ BENCHMARK(BM_SaComputeCold)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_sacache_study();
+  print_mode_comparison();
   print_batched_vs_scalar();
   // Seed coalescing rides the same word engine one level up: whole
   // Monte-Carlo sweeps of one binding, 64 stimulus seeds per word.

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <optional>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -46,7 +47,10 @@ int bench_vectors() {
 int bench_jobs() { return flow::jobs_from_env(2); }
 
 SaCache& sa_cache() {
-  static SaCache cache(bench_width());
+  // Resolved from HLP_SA_MODE once: every bench shares the same backend,
+  // and contexts with a deferred Job::sa agree with this cache's mode.
+  static SaCache cache(bench_width(), MapParams{},
+                       effective_sa_mode(std::nullopt));
   return cache;
 }
 

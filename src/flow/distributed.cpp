@@ -378,16 +378,17 @@ std::vector<JobResult> DistributedRunner::run_static(
   // complete table or does not exist). Conflicts throw — the entries are
   // deterministic, so a conflict means two workers computed under
   // different configurations and the whole run is suspect.
-  std::set<int> widths;
-  for (const Job& j : jobs) widths.insert(j.width);
+  std::set<std::pair<int, SaMode>> tables;
+  for (const Job& j : jobs) tables.insert({j.width, effective_sa_mode(j.sa)});
   for (const WorkerProc& w : procs) {
     if (!w.exited || w.timed_out || !WIFEXITED(w.status) ||
         WEXITSTATUS(w.status) != 0)
       continue;
-    for (const int width : widths) {
-      const std::string file = w.sa_prefix + ".w" + std::to_string(width);
+    for (const auto& [width, mode] : tables) {
+      const std::string file =
+          w.sa_prefix + sa_cache_file_suffix(width, mode);
       if (std::error_code ec; fs::exists(file, ec) && !ec)
-        local_.sa_cache(width).merge_from(file);
+        local_.sa_cache(width, mode).merge_from(file);
     }
   }
   local_.persist_sa_caches();
@@ -672,14 +673,15 @@ std::vector<JobResult> DistributedRunner::run_stream(
 
   // Merge the SA shards of workers that honoured the quit handshake
   // (shards are written atomically at worker exit, once per session).
-  std::set<int> widths;
-  for (const Job& j : jobs) widths.insert(j.width);
+  std::set<std::pair<int, SaMode>> tables;
+  for (const Job& j : jobs) tables.insert({j.width, effective_sa_mode(j.sa)});
   for (const StreamWorker& w : fleet) {
     if (!w.clean) continue;
-    for (const int width : widths) {
-      const std::string file = w.sa_prefix + ".w" + std::to_string(width);
+    for (const auto& [width, mode] : tables) {
+      const std::string file =
+          w.sa_prefix + sa_cache_file_suffix(width, mode);
       if (std::error_code ec; fs::exists(file, ec) && !ec)
-        local_.sa_cache(width).merge_from(file);
+        local_.sa_cache(width, mode).merge_from(file);
     }
   }
   local_.persist_sa_caches();

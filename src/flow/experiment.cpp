@@ -48,9 +48,14 @@ std::size_t chunk_lanes_for(const Job& job, std::size_t group_size) {
 
 std::string context_key(const Job& job) {
   std::ostringstream key;
+  // The SA mode is keyed RESOLVED: jobs deferring to HLP_SA_MODE and jobs
+  // pinning the same mode explicitly share a context (and its SaCache),
+  // while different modes — different SA values, different bindings —
+  // never do.
   key << job.benchmark << '|' << job.scheduler << '|' << job.rc.adders << 'x'
       << job.rc.multipliers << '|' << job.width << '|' << job.reg_seed << '|'
-      << job.sched_spec.min_latency << '|' << job.sched_spec.latency_slack;
+      << job.sched_spec.min_latency << '|' << job.sched_spec.latency_slack
+      << '|' << sa_mode_name(effective_sa_mode(job.sa));
   return key.str();
 }
 
@@ -75,6 +80,7 @@ RunSpec spec_for(const Job& job) {
   spec.sim_engine = job.sim_engine;
   spec.simd = job.simd;
   spec.settle = job.settle;
+  spec.sa = job.sa;
   return spec;
 }
 
@@ -112,6 +118,16 @@ std::vector<WorkUnit> plan_units(const std::vector<Job>& jobs, bool coalesce) {
   return units;
 }
 
+std::string sa_cache_file_suffix(int width, SaMode mode) {
+  std::string suffix = ".w" + std::to_string(width);
+  // Estimate-mode tables keep the pre-mode-axis name so caches persisted
+  // by older runs stay warm; the other modes are value-incompatible with
+  // them and get their own files.
+  if (mode != SaMode::kEstimated)
+    suffix += std::string(".") + sa_mode_name(mode);
+  return suffix;
+}
+
 ExperimentRunner::ExperimentRunner(int num_threads, GraphProvider provider,
                                    SaCache* shared_cache)
     : num_threads_(std::max(1, num_threads)),
@@ -130,29 +146,35 @@ void ExperimentRunner::set_sa_cache_path(std::string path) {
   sa_cache_path_ = std::move(path);
 }
 
-std::string ExperimentRunner::cache_file_for(int width) const {
-  return sa_cache_path_ + ".w" + std::to_string(width);
+std::string ExperimentRunner::cache_file_for(int width, SaMode mode) const {
+  return sa_cache_path_ + sa_cache_file_suffix(width, mode);
 }
 
-SaCache& ExperimentRunner::sa_cache(int width) {
-  if (external_cache_ && external_cache_->width() == width)
+SaCache& ExperimentRunner::sa_cache(int width, SaMode mode) {
+  if (external_cache_ && external_cache_->width() == width &&
+      external_cache_->mode() == mode)
     return *external_cache_;
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = caches_[width];
+  auto& slot = caches_[{width, mode}];
   if (!slot) {
-    slot = std::make_unique<SaCache>(width);
+    slot = std::make_unique<SaCache>(width, MapParams{}, mode);
     if (!sa_cache_path_.empty()) {
       // Warm start: preload the persisted table when a previous run left
       // one behind (a missing file just means a cold start).
-      const std::string file = cache_file_for(width);
+      const std::string file = cache_file_for(width, mode);
       if (std::ifstream probe(file); probe.good()) slot->load_file(file);
     }
   }
   return *slot;
 }
 
+SaCache& ExperimentRunner::sa_cache(int width) {
+  return sa_cache(width, effective_sa_mode(std::nullopt));
+}
+
 FlowContext& ExperimentRunner::context_for(const Job& job) {
-  SaCache& cache = sa_cache(job.width);
+  const SaMode mode = effective_sa_mode(job.sa);
+  SaCache& cache = sa_cache(job.width, mode);
   const std::string key = context_key(job);
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = contexts_[key];
@@ -162,6 +184,7 @@ FlowContext& ExperimentRunner::context_for(const Job& job) {
     opt.sched_spec = job.sched_spec;
     opt.width = job.width;
     opt.reg_seed = job.reg_seed;
+    opt.sa_mode = mode;
     slot = std::make_unique<FlowContext>(provider_(job.benchmark), job.rc,
                                          std::move(opt), &cache);
   }
@@ -246,11 +269,11 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
 void ExperimentRunner::persist_sa_caches() {
   std::lock_guard<std::mutex> lock(mu_);
   if (sa_cache_path_.empty()) return;
-  for (const auto& [width, cache] : caches_) {
+  for (const auto& [key, cache] : caches_) {
     if (cache->size() == 0) continue;
     // Write-then-rename so concurrent runners (and crashed runs) never
     // observe a half-written table.
-    const std::string file = cache_file_for(width);
+    const std::string file = cache_file_for(key.first, key.second);
     const std::string tmp = file + ".tmp";
     cache->save_file(tmp);
     HLP_REQUIRE(std::rename(tmp.c_str(), file.c_str()) == 0,

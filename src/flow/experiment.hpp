@@ -73,6 +73,14 @@ struct Job {
   /// a run_batch) and of the distributed manifest, so worker processes
   /// resolve exactly like the parent.
   SettleMode settle = SettleMode::kAuto;
+  /// SA backend (RunSpec::sa): an absent value defers to HLP_SA_MODE at
+  /// context construction (unset environment = estimate). Unlike `simd` /
+  /// `settle` the mode changes VALUES, so it is resolved once per runner
+  /// process and pinned: it keys the context (different modes never share
+  /// a FlowContext or SaCache), joins the coalescing group key, and rides
+  /// the distributed manifest pre-resolved (`sa=`) so workers run exactly
+  /// the parent's backend regardless of their own environment.
+  std::optional<SaMode> sa;
   /// Free-form tag carried through to the result (display only).
   std::string label;
 };
@@ -128,14 +136,20 @@ class ExperimentRunner {
   /// The memoised context a job maps to (creating it if needed).
   FlowContext& context_for(const Job& job);
 
-  /// The cache contexts of `width` share (the external cache when its
-  /// width matches, else the runner-owned one).
+  /// The cache contexts of (`width`, `mode`) share: the external cache
+  /// when both its width and mode match, else the runner-owned one. The
+  /// one-argument overload resolves the mode from the environment
+  /// (effective_sa_mode with no explicit request) — what a job with an
+  /// absent `sa` field uses.
+  SaCache& sa_cache(int width, SaMode mode);
   SaCache& sa_cache(int width);
 
   /// Warm-start path for SA tables. When non-empty, every runner-owned
-  /// cache is preloaded from "<path>.w<width>" if that file exists, and
-  /// saved back after each run() so repeated invocations start warm. The
-  /// constructor reads the HLP_SA_CACHE env var as the default.
+  /// cache is preloaded from "<path><suffix>" if that file exists (see
+  /// sa_cache_file_suffix: ".w<width>" for estimate-mode tables — the
+  /// legacy name — and ".w<width>.<mode>" otherwise), and saved back
+  /// after each run() so repeated invocations start warm. The constructor
+  /// reads the HLP_SA_CACHE env var as the default.
   void set_sa_cache_path(std::string path);
   const std::string& sa_cache_path() const { return sa_cache_path_; }
 
@@ -167,7 +181,7 @@ class ExperimentRunner {
       const std::vector<ResourceConstraint>& rcs = {}, const Job& base = {});
 
  private:
-  std::string cache_file_for(int width) const;
+  std::string cache_file_for(int width, SaMode mode) const;
 
   int num_threads_;
   GraphProvider provider_;
@@ -177,7 +191,14 @@ class ExperimentRunner {
 
   std::mutex mu_;  // guards the two maps
   std::map<std::string, std::unique_ptr<FlowContext>> contexts_;
-  std::map<int, std::unique_ptr<SaCache>> caches_;
+  std::map<std::pair<int, SaMode>, std::unique_ptr<SaCache>> caches_;
 };
+
+/// Warm-start file suffix of one (width, mode) SA table under an
+/// HLP_SA_CACHE prefix: ".w<width>" for estimate-mode tables (the name
+/// predating the mode axis, kept so existing caches stay warm) and
+/// ".w<width>.<mode>" otherwise. Shared by the runner, the distributed
+/// shard merge and hlp_worker so every layer agrees on shard names.
+std::string sa_cache_file_suffix(int width, SaMode mode);
 
 }  // namespace hlp::flow

@@ -21,8 +21,18 @@ FlowContext::FlowContext(Cdfg g, ResourceConstraint rc, ContextOptions opt,
     HLP_REQUIRE(shared_cache_->width() == opt_.width,
                 "shared SaCache width " << shared_cache_->width()
                                         << " != context width " << opt_.width);
+    // The shared cache's mode governs; an explicit request that disagrees
+    // is a configuration error, not a silent override.
+    HLP_REQUIRE(!opt_.sa_mode || *opt_.sa_mode == shared_cache_->mode(),
+                "context SA mode '"
+                    << sa_mode_name(*opt_.sa_mode)
+                    << "' != shared SaCache mode '"
+                    << sa_mode_name(shared_cache_->mode()) << "'");
+    opt_.sa_mode = shared_cache_->mode();
   } else {
-    owned_cache_ = std::make_unique<SaCache>(opt_.width);
+    opt_.sa_mode = effective_sa_mode(opt_.sa_mode);
+    owned_cache_ =
+        std::make_unique<SaCache>(opt_.width, MapParams{}, *opt_.sa_mode);
   }
   stage_cache_ = std::make_unique<StageCache>();
 }
@@ -35,9 +45,12 @@ std::string FlowContext::binding_hash(const BinderSpec& binder,
   const ResourceConstraint& resolved = rc();
   std::ostringstream key;
   key << std::hexfloat;
+  // opt_.sa_mode is concrete after construction; different SA backends
+  // produce different tables, hence different bindings — distinct keys.
   key << opt_.scheduler << '|' << opt_.sched_spec.min_latency << '|'
       << opt_.sched_spec.latency_slack << '|' << resolved.adders << 'x'
       << resolved.multipliers << '|' << opt_.width << '|' << opt_.reg_seed
+      << '|' << sa_mode_name(sa_cache().mode())
       << '|' << binder.name << '|' << binder.alpha << '|' << binder.beta_add
       << '|' << binder.beta_mult << '|' << binder.refine << '|' << map.cuts.k
       << '|' << map.cuts.max_cuts << '|' << static_cast<int>(map.mode) << '|'

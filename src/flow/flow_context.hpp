@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "binding/binding.hpp"
@@ -40,6 +41,10 @@ struct ContextOptions {
   int width = 8;
   /// Register binding seed (port assignment tie-breaking).
   std::uint64_t reg_seed = 42;
+  /// SA backend of the context's owned cache: an absent value defers to
+  /// HLP_SA_MODE (effective_sa_mode). With a shared cache the cache's own
+  /// mode governs, and a concrete request here must agree with it.
+  std::optional<SaMode> sa_mode;
 };
 
 class FlowContext {

@@ -193,6 +193,20 @@ Pipeline& Pipeline::replace(const std::string& name, StageFn fn) {
   HLP_REQUIRE(false, "pipeline has no stage named '" << name << "'");
 }
 
+namespace {
+
+// RunSpec::sa pins the SA backend: a concrete request must match what the
+// context's cache actually runs (specs and contexts resolved under
+// different HLP_SA_MODE values would silently mix backends otherwise).
+void check_sa_pin(FlowContext& ctx, const RunSpec& spec) {
+  HLP_REQUIRE(!spec.sa || *spec.sa == ctx.sa_cache().mode(),
+              "RunSpec pins SA mode '"
+                  << sa_mode_name(*spec.sa) << "' but the context's SaCache "
+                  << "runs '" << sa_mode_name(ctx.sa_cache().mode()) << "'");
+}
+
+}  // namespace
+
 Pipeline::CacheCursor Pipeline::make_cursor(FlowContext& ctx,
                                             const RunSpec& spec) const {
   CacheCursor cursor;
@@ -226,6 +240,7 @@ void Pipeline::run_stage(PipelineState& st, const Stage& stage,
 }
 
 PipelineOutcome Pipeline::run(FlowContext& ctx, const RunSpec& spec) const {
+  check_sa_pin(ctx, spec);
   PipelineState st(ctx, spec);
   st.out.timings.reserve(stages_.size());
   CacheCursor cursor = make_cursor(ctx, spec);
@@ -239,6 +254,7 @@ std::vector<PipelineOutcome> Pipeline::run_batch(
   using Clock = std::chrono::steady_clock;
   std::vector<PipelineOutcome> outs;
   if (seeds.empty()) return outs;
+  check_sa_pin(ctx, spec);
 
   PipelineState st(ctx, spec);
   st.out.timings.reserve(stages_.size());

@@ -72,6 +72,15 @@ struct RunSpec {
   /// var. Every strategy is bit-identical — like `simd`, this knob only
   /// moves wall-clock (see docs/architecture.md).
   SettleMode settle = SettleMode::kAuto;
+  /// Requested SA backend (power/sa_mode.hpp). The cache actually used
+  /// belongs to the CONTEXT, so this field is a pin, not a selector: a
+  /// concrete value makes run()/run_batch() verify the context's SaCache
+  /// runs that mode (throwing on mismatch — catching a sweep whose specs
+  /// and contexts were resolved under different HLP_SA_MODE values), an
+  /// absent value accepts whatever the context resolved. Unlike `simd` /
+  /// `settle` this knob changes VALUES, which is why it pins rather than
+  /// switches per run.
+  std::optional<SaMode> sa;
   /// Consult the context's StageCache for the bind-fus..time artifacts
   /// (hits skip those stages; results are identical either way). Ignored —
   /// always off — on a pipeline whose pre-simulate stages were replace()d,

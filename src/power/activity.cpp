@@ -120,11 +120,15 @@ ActivityResult estimate_activity_zero_delay(const Netlist& n) {
 
 SimActivityResult simulate_activity(const Netlist& n, int num_vectors,
                                     std::uint64_t seed, SimEngine engine) {
-  HLP_REQUIRE(num_vectors >= 1, "simulate_activity needs >= 1 vector");
+  HLP_REQUIRE(num_vectors >= 1,
+              "simulate_activity needs >= 1 vector, got " << num_vectors);
   const auto frames = random_vectors(
       num_vectors, static_cast<int>(n.inputs().size()), seed);
   SimActivityResult r;
   r.stats = simulate_frames(n, frames, engine);
+  r.vectors_used = static_cast<int>(r.stats.num_cycles);
+  r.seed = seed;
+  r.engine = engine;
   const double cycles = static_cast<double>(r.stats.num_cycles);
   r.sa.resize(n.num_nets());
   for (NetId net = 0; net < n.num_nets(); ++net)

@@ -79,6 +79,13 @@ struct SimActivityResult {
   double functional_sa = 0.0;
   double glitch_sa = 0.0;
   CycleSimStats stats;  // the raw counts behind the averages
+  /// Echo of what actually ran, so a result is self-describing after the
+  /// call site's knobs are out of scope (and so convergence studies can
+  /// divide by the cycle count the engine really simulated, not the one
+  /// the caller asked for).
+  int vectors_used = 0;          // == stats.num_cycles
+  std::uint64_t seed = 0;        // stimulus seed the frames were drawn with
+  SimEngine engine = SimEngine::kBatched;  // engine that produced `stats`
 };
 
 SimActivityResult simulate_activity(const Netlist& n, int num_vectors,

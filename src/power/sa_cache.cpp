@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "power/activity.hpp"
+#include "power/exact_activity.hpp"
 #include "rtl/partial_datapath.hpp"
 
 namespace hlp {
@@ -21,7 +22,12 @@ SaCache::SaCache(int width, MapParams map_params, SaMode mode, int sim_vectors,
       map_params_(map_params),
       mode_(mode),
       sim_vectors_(sim_vectors),
-      sim_seed_(sim_seed) {
+      sim_seed_(sim_seed),
+      // Resolve the budget once, here: every entry of one cache must be
+      // computed under the same budget or merges would conflict.
+      exact_budget_(mode == SaMode::kExact
+                        ? exact_budget_from_env(kDefaultExactBudget)
+                        : kDefaultExactBudget) {
   HLP_REQUIRE(width >= 1, "width must be >= 1");
   HLP_REQUIRE(sim_vectors >= 1, "sim_vectors must be >= 1");
 }
@@ -42,6 +48,13 @@ double SaCache::compute_uncached(OpKind kind, int n_mux_a, int n_mux_b) const {
   if (mode_ == SaMode::kSimulated)
     return simulate_activity(mapped.lut_netlist, sim_vectors_, sim_seed_)
         .total_sa;
+  if (mode_ == SaMode::kExact) {
+    ExactActivityOptions opt;
+    opt.node_budget = exact_budget_;
+    opt.fallback_vectors = sim_vectors_;
+    opt.fallback_seed = sim_seed_;
+    return exact_activity(mapped.lut_netlist, opt).total_sa;
+  }
   return estimate_activity(mapped.lut_netlist).total_sa;
 }
 
@@ -97,7 +110,8 @@ void SaCache::save(std::ostream& os) const {
     std::lock_guard<std::mutex> lock(shard.mu);
     snapshot.insert(shard.table.begin(), shard.table.end());
   }
-  os << "# SaCache width=" << width_ << " k=" << map_params_.cuts.k << "\n";
+  os << "# SaCache width=" << width_ << " k=" << map_params_.cuts.k
+     << " mode=" << sa_mode_name(mode_) << "\n";
   os.precision(17);  // bit-exact double round trip
   for (const auto& [k, sa] : snapshot) {
     const int kind = static_cast<int>(k >> 40);
@@ -155,6 +169,23 @@ std::size_t SaCache::merge_from(std::istream& is, const std::string& what) {
         HLP_REQUIRE(w == width_, what << ": width " << w
                                       << " does not match this cache's width "
                                       << width_);
+        // The SA mode changes entry *values*, so a cross-mode merge is a
+        // configuration error, rejected here before any entry is staged.
+        // Tables written before the mode tag existed are estimate-mode.
+        std::string file_mode;
+        for (std::size_t i = 3; i < tok.size(); ++i)
+          if (tok[i].rfind("mode=", 0) == 0) file_mode = tok[i].substr(5);
+        if (file_mode.empty()) {
+          HLP_REQUIRE(mode_ == SaMode::kEstimated,
+                      what << ": table carries no mode tag (legacy "
+                              "estimate-mode table) but this cache's mode is '"
+                           << sa_mode_name(mode_) << "'");
+        } else {
+          HLP_REQUIRE(file_mode == sa_mode_name(mode_),
+                      what << ": mode '" << file_mode
+                           << "' does not match this cache's mode '"
+                           << sa_mode_name(mode_) << "'");
+        }
         saw_header = true;
         continue;
       }

@@ -8,9 +8,13 @@
 //
 // SaCache computes, for a key (op kind, muxA size, muxB size), the SA of
 // the 4-LUT-mapped partial datapath, memoises it, and can persist/reload
-// the table as text. Two SA backends are supported: the paper's analytic
-// glitch-aware estimator (kEstimated, the default) and Monte-Carlo
-// unit-delay simulation through the bit-parallel batch engine (kSimulated).
+// the table as text. Three SA backends are supported (power/sa_mode.hpp):
+// the paper's analytic glitch-aware estimator (kEstimated, the default),
+// Monte-Carlo unit-delay simulation through the bit-parallel batch engine
+// (kSimulated), and analytic per-cone BDD densities with a budgeted
+// Monte-Carlo fallback (kExact, power/exact_activity.hpp). Because the
+// backends produce different values, persisted tables are tagged with
+// their mode and merge_from refuses cross-mode shards.
 //
 // The memo table is sharded by key hash (kNumShards independent mutex+map
 // shards) so large ExperimentRunner fleets hammering the hot lookup path do
@@ -27,11 +31,9 @@
 
 #include "cdfg/cdfg.hpp"
 #include "mapper/techmap.hpp"
+#include "power/sa_mode.hpp"
 
 namespace hlp {
-
-/// Which backend computes a cache entry on a miss.
-enum class SaMode { kEstimated, kSimulated };
 
 class SaCache {
  public:
@@ -41,7 +43,11 @@ class SaCache {
   /// `width`: datapath bit width; `map_params`: mapper configuration used
   /// for every partial datapath; `mode` selects the SA backend
   /// (kSimulated uses `sim_vectors` random frames from `sim_seed` through
-  /// the batched unit-delay engine).
+  /// the batched unit-delay engine; kExact resolves its per-cone node
+  /// budget from HLP_EXACT_BUDGET here, once, and reuses the same
+  /// vectors/seed for its Monte-Carlo fallback on blown cones). The mode
+  /// is fixed for the cache's life — callers resolving it from the
+  /// environment should go through effective_sa_mode.
   explicit SaCache(int width = 8, MapParams map_params = {},
                    SaMode mode = SaMode::kEstimated, int sim_vectors = 256,
                    std::uint64_t sim_seed = 1);
@@ -75,11 +81,13 @@ class SaCache {
 
   /// Merge a persisted table (save() output — e.g. a distributed worker's
   /// private SA shard) into this cache. Strict, unlike load(): the file
-  /// must carry the header (whose width must match this cache) and the
-  /// "# end <count>" footer with a matching entry count — a corrupt or
-  /// truncated shard is rejected with an error naming the defect, and
-  /// nothing is merged from a rejected file (entries are staged before
-  /// insertion). Entries new to the table are inserted; entries already
+  /// must carry the header (whose width must match this cache, and whose
+  /// mode — when present — must match this cache's mode; a header without
+  /// a mode tag is a legacy estimate-mode table and only merges into a
+  /// kEstimated cache) and the "# end <count>" footer with a matching
+  /// entry count — a corrupt or truncated shard is rejected with an error
+  /// naming the defect, and nothing is merged from a rejected file
+  /// (entries are staged before insertion). Entries new to the table are inserted; entries already
   /// present must agree bit-exactly (every backend is deterministic, so a
   /// disagreement means the shard was produced by a different
   /// configuration) or the merge throws. Returns the number of newly
@@ -111,6 +119,7 @@ class SaCache {
   SaMode mode_;
   int sim_vectors_;
   std::uint64_t sim_seed_;
+  int exact_budget_;  // kExact only: resolved from HLP_EXACT_BUDGET at ctor
   mutable std::array<Shard, kNumShards> shards_;
 };
 

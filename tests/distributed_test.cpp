@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -114,6 +115,7 @@ TEST(JobIo, ManifestRoundTripIsExact) {
   a.job.sim_engine = SimEngine::kScalar;
   a.job.simd = SimdMode::kX4;
   a.job.settle = SettleMode::kLevel;
+  a.job.sa = SaMode::kExact;
   a.job.label = "label with spaces & %";
   jobs.push_back(a);
   flow::ManifestJob b;  // all defaults
@@ -143,8 +145,15 @@ TEST(JobIo, ManifestRoundTripIsExact) {
   EXPECT_EQ(j.sim_engine, SimEngine::kScalar);
   EXPECT_EQ(j.simd, SimdMode::kX4);
   EXPECT_EQ(j.settle, SettleMode::kLevel);
+  ASSERT_TRUE(j.sa.has_value());
+  EXPECT_EQ(*j.sa, SaMode::kExact);
   EXPECT_EQ(j.label, "label with spaces & %");
   EXPECT_EQ(back[1].job.benchmark, flow::Job{}.benchmark);
+  // The SA mode is serialised RESOLVED: a job that deferred to HLP_SA_MODE
+  // leaves the parent as a concrete mode, so a worker with a different
+  // environment still runs exactly the parent's backend.
+  ASSERT_TRUE(back[1].job.sa.has_value());
+  EXPECT_EQ(*back[1].job.sa, effective_sa_mode(std::nullopt));
 }
 
 flow::ManifestResult synthetic_result() {
@@ -410,6 +419,36 @@ TEST(Distributed, WorkersInheritSettleModeAndStayBitIdentical) {
   }
 }
 
+TEST(Distributed, WorkersInheritSaModeAndStayBitIdentical) {
+  // Jobs pinned to the exact SA backend ride the manifest's `sa=` field
+  // into the workers. The backend changes binding VALUES, so the only
+  // valid reference is an in-process run of the SAME mode — which must
+  // match on every bit (the exact engine is deterministic), proving the
+  // workers ran the parent's backend and not their environment's default.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 5; ++s) seeds.push_back(900 + s);
+  flow::Job base = small_job("pr");
+  base.sa = SaMode::kExact;
+  const auto jobs = flow::ExperimentRunner::grid(
+      {"pr"}, {flow::BinderSpec{"hlpower"}}, seeds, {}, base);
+
+  flow::ExperimentRunner threaded(2);
+  const auto want = threaded.run(jobs);
+  flow::DistributedRunner dist(2, 2);
+  const auto got = dist.run(jobs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].ok) << got[i].error;
+    // The worker echoes the job back: the mode it actually ran with.
+    ASSERT_TRUE(got[i].job.sa.has_value()) << "job " << i;
+    EXPECT_EQ(*got[i].job.sa, SaMode::kExact) << "job " << i;
+    EXPECT_TRUE(flow::same_outcome(want[i], got[i]))
+        << "job " << i
+        << " diverged between exact-mode workers and the exact-mode "
+        << "threaded runner";
+  }
+}
+
 TEST(Distributed, SingleWorkerFallsBackInProcess) {
   const std::vector<flow::Job> jobs = {small_job("pr"), small_job("wang")};
   flow::DistributedRunner dist(1, 2);
@@ -637,7 +676,11 @@ TEST(Distributed, ServeLoopStaysWarmAcrossUnitsAndFlushesSaOnce) {
   ASSERT_EQ(::access(bin.c_str(), X_OK), 0)
       << "hlp_worker not built next to the test binary";
   const std::string prefix = ::testing::TempDir() + "/serve_sa";
-  const std::string shard = prefix + ".w" + std::to_string(kWidth);
+  // The units defer their SA mode, so the manifest pins whatever the
+  // environment resolves to and the shard lands in that mode's file
+  // (`.exact`-suffixed under the exact-mode CI leg).
+  const SaMode sa_mode = effective_sa_mode(std::nullopt);
+  const std::string shard = prefix + flow::sa_cache_file_suffix(kWidth, sa_mode);
   std::remove(shard.c_str());
 
   int to_child[2], from_child[2];
@@ -730,7 +773,7 @@ TEST(Distributed, ServeLoopStaysWarmAcrossUnitsAndFlushesSaOnce) {
   // Now — and only now — the shard exists, is complete, and holds the
   // tables both units contributed to.
   ASSERT_TRUE(std::filesystem::exists(shard));
-  SaCache reloaded(kWidth);
+  SaCache reloaded(kWidth, MapParams{}, sa_mode);
   reloaded.load_file(shard);
   EXPECT_GT(reloaded.size(), 0u);
 }
@@ -739,7 +782,8 @@ TEST(Distributed, ServeLoopStaysWarmAcrossUnitsAndFlushesSaOnce) {
 
 TEST(Distributed, SaShardsMergeIntoWarmStartFile) {
   const std::string prefix = ::testing::TempDir() + "/dist_sa_cache";
-  const std::string file = prefix + ".w" + std::to_string(kWidth);
+  const SaMode sa_mode = effective_sa_mode(std::nullopt);
+  const std::string file = prefix + flow::sa_cache_file_suffix(kWidth, sa_mode);
   std::remove(file.c_str());
 
   std::vector<std::uint64_t> seeds;
@@ -755,13 +799,14 @@ TEST(Distributed, SaShardsMergeIntoWarmStartFile) {
 
   // The parent merged every worker's shard and persisted the union.
   EXPECT_GT(dist.local().sa_cache(kWidth).size(), 0u);
-  SaCache reloaded(kWidth);
+  SaCache reloaded(kWidth, MapParams{}, sa_mode);
   reloaded.load_file(file);
   EXPECT_EQ(reloaded.size(), dist.local().sa_cache(kWidth).size());
 
   // The merged table is a valid shard itself: merging it into a fresh
-  // cache inserts everything; merging twice inserts nothing new.
-  SaCache fresh(kWidth);
+  // cache of the same mode inserts everything; merging twice inserts
+  // nothing new.
+  SaCache fresh(kWidth, MapParams{}, sa_mode);
   EXPECT_EQ(fresh.merge_from(file), reloaded.size());
   EXPECT_EQ(fresh.merge_from(file), 0u);
   EXPECT_EQ(fresh.misses(), 0u);

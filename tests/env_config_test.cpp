@@ -1,8 +1,10 @@
 // Dedicated coverage for the strict env-var parsers: HLP_JOBS
 // (flow::jobs_from_env), HLP_VECTORS (vectors_from_env), HLP_COALESCE
 // (flow::coalesce_from_env), HLP_SIMD (simd_mode_from_env /
-// resolve_simd_mode), HLP_SETTLE (settle_mode_from_env) and
-// HLP_DISPATCH (dispatch_mode_from_env / resolve_dispatch_mode).
+// resolve_simd_mode), HLP_SETTLE (settle_mode_from_env), HLP_DISPATCH
+// (dispatch_mode_from_env / resolve_dispatch_mode), HLP_SA_MODE
+// (sa_mode_from_env / effective_sa_mode) and HLP_EXACT_BUDGET
+// (exact_budget_from_env).
 // Garbage, negative, zero, overflow and unset inputs each have a pinned
 // behaviour: unset/empty falls back, everything invalid throws — a
 // sweep must die loudly, not run with a silently defaulted
@@ -17,6 +19,7 @@
 #include "common/error.hpp"
 #include "flow/dispatch_mode.hpp"
 #include "flow/experiment.hpp"
+#include "power/sa_mode.hpp"
 #include "rtl/flow.hpp"
 #include "sim/settle_mode.hpp"
 #include "sim/simd_mode.hpp"
@@ -406,6 +409,114 @@ TEST(EnvConfig, DispatchAutoResolvesByWorkerCount) {
   env.set("stream");
   EXPECT_EQ(flow::resolve_dispatch_mode(flow::DispatchMode::kAuto, 1),
             flow::DispatchMode::kStream);
+}
+
+TEST(EnvConfig, SaModeUnsetAndEmptyFallBack) {
+  ScopedUnsetEnv env("HLP_SA_MODE");
+  EXPECT_EQ(sa_mode_from_env(), SaMode::kEstimated);
+  EXPECT_EQ(sa_mode_from_env(SaMode::kExact), SaMode::kExact);
+  env.set("");
+  EXPECT_EQ(sa_mode_from_env(SaMode::kSimulated), SaMode::kSimulated);
+}
+
+TEST(EnvConfig, SaModeParsesEveryKnownMode) {
+  ScopedUnsetEnv env("HLP_SA_MODE");
+  for (const SaMode mode : all_sa_modes()) {
+    env.set(sa_mode_name(mode));
+    EXPECT_EQ(sa_mode_from_env(SaMode::kSimulated), mode)
+        << sa_mode_name(mode);
+  }
+}
+
+TEST(EnvConfig, SaModeRejectsGarbage) {
+  ScopedUnsetEnv env("HLP_SA_MODE");
+  // Strictly the lowercase canonical names: no case folding, no aliases,
+  // no trailing junk, and — unlike HLP_SIMD/HLP_SETTLE — no "auto": the
+  // modes return *different values*, so a deferred pick has no meaning.
+  for (const char* bad : {"ESTIMATE", "Sim", "Exact", "simulate", "estimated",
+                          "bdd", "mc", "auto", "exact ", " sim", "0", "1"}) {
+    env.set(bad);
+    EXPECT_THROW(sa_mode_from_env(), Error) << "input '" << bad << "'";
+  }
+}
+
+TEST(EnvConfig, SaModeErrorNamesTheVariableAndValue) {
+  ScopedUnsetEnv env("HLP_SA_MODE");
+  env.set("banana");
+  try {
+    sa_mode_from_env();
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HLP_SA_MODE"), std::string::npos);
+    EXPECT_NE(what.find("banana"), std::string::npos);
+    EXPECT_NE(what.find("exact"), std::string::npos);  // lists accepted set
+  }
+}
+
+TEST(EnvConfig, SaModeEffectiveModePrefersExplicitOverEnv) {
+  ScopedUnsetEnv env("HLP_SA_MODE");
+  // An explicit request wins even when the env var is set...
+  env.set("exact");
+  EXPECT_EQ(effective_sa_mode(SaMode::kSimulated), SaMode::kSimulated);
+  // ...and an absent request defers to the env var.
+  EXPECT_EQ(effective_sa_mode(std::nullopt), SaMode::kExact);
+  env.set("sim");
+  EXPECT_EQ(effective_sa_mode(std::nullopt), SaMode::kSimulated);
+  // With nothing set anywhere, the resolution is always concrete: the
+  // seed default, kEstimated. There is no deferred "auto" SA mode.
+  ScopedUnsetEnv unset("HLP_SA_MODE");
+  EXPECT_EQ(effective_sa_mode(std::nullopt), SaMode::kEstimated);
+  EXPECT_EQ(effective_sa_mode(SaMode::kExact), SaMode::kExact);
+}
+
+TEST(EnvConfig, ExactBudgetUnsetAndEmptyFallBack) {
+  ScopedUnsetEnv env("HLP_EXACT_BUDGET");
+  EXPECT_EQ(exact_budget_from_env(20000), 20000);
+  env.set("");
+  EXPECT_EQ(exact_budget_from_env(5), 5);
+}
+
+TEST(EnvConfig, ExactBudgetParsesValidCounts) {
+  ScopedUnsetEnv env("HLP_EXACT_BUDGET");
+  env.set("1");  // smallest legal budget: every gate cone falls back
+  EXPECT_EQ(exact_budget_from_env(20000), 1);
+  env.set("1000000");
+  EXPECT_EQ(exact_budget_from_env(20000), 1000000);
+  env.set("2147483647");  // INT_MAX is the inclusive upper bound
+  EXPECT_EQ(exact_budget_from_env(20000), 2147483647);
+}
+
+TEST(EnvConfig, ExactBudgetRejectsGarbageNegativeAndOverflow) {
+  ScopedUnsetEnv env("HLP_EXACT_BUDGET");
+  for (const char* bad : kGarbage) {
+    env.set(bad);
+    EXPECT_THROW(exact_budget_from_env(20000), Error)
+        << "input '" << bad << "'";
+  }
+  for (const char* bad : kNonPositive) {
+    env.set(bad);
+    EXPECT_THROW(exact_budget_from_env(20000), Error)
+        << "input '" << bad << "'";
+  }
+  for (const char* bad : kOverflow) {
+    env.set(bad);
+    EXPECT_THROW(exact_budget_from_env(20000), Error)
+        << "input '" << bad << "'";
+  }
+}
+
+TEST(EnvConfig, ExactBudgetErrorNamesTheVariableAndValue) {
+  ScopedUnsetEnv env("HLP_EXACT_BUDGET");
+  env.set("banana");
+  try {
+    exact_budget_from_env(20000);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HLP_EXACT_BUDGET"), std::string::npos);
+    EXPECT_NE(what.find("banana"), std::string::npos);
+  }
 }
 
 TEST(EnvConfig, CoalesceEnvSetsTheRunnerDefault) {

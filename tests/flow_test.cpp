@@ -18,6 +18,7 @@
 #include "flow/pipeline.hpp"
 #include "flow/registry.hpp"
 #include "lopass/lopass.hpp"
+#include "power/sa_mode.hpp"
 #include "rtl/flow.hpp"
 #include "sched/list_scheduler.hpp"
 
@@ -121,11 +122,17 @@ TEST(Pipeline, MatchesLegacyRunFlow) {
   fp.num_vectors = kVectors;
   const FlowResult legacy = run_flow(g, s, Binding{regs, fus}, fp);
 
-  // Staged pipeline.
-  flow::FlowContext ctx(g, rc, small_options());
+  // Staged pipeline. The legacy path's SaCache above is estimate-mode, so
+  // pin the pipeline to the same backend: this test compares the staged
+  // decomposition, not the SA engine, and must hold under the exact-mode
+  // CI leg (HLP_SA_MODE=exact) too.
+  flow::ContextOptions opt = small_options();
+  opt.sa_mode = SaMode::kEstimated;
+  flow::FlowContext ctx(g, rc, opt);
   flow::RunSpec spec;
   spec.binder.name = "hlpower";
   spec.num_vectors = kVectors;
+  spec.sa = SaMode::kEstimated;
   const flow::PipelineOutcome out = flow::Pipeline::standard().run(ctx, spec);
 
   EXPECT_EQ(out.fus.fu_of_op, fus.fu_of_op);
@@ -212,7 +219,11 @@ TEST(Pipeline, BatchedAndScalarEnginesAgreeBitForBit) {
 
 TEST(ExperimentRunner, SaCachePersistenceWarmStart) {
   const std::string path = ::testing::TempDir() + "/runner_sa_cache";
-  const std::string file = path + ".w" + std::to_string(kWidth);
+  // The jobs defer their SA mode, so resolve it the way the runner will:
+  // under the exact-mode CI leg the table lands in the `.exact`-suffixed
+  // file and must be reloaded into an exact-mode cache.
+  const SaMode mode = effective_sa_mode(std::nullopt);
+  const std::string file = path + flow::sa_cache_file_suffix(kWidth, mode);
   std::remove(file.c_str());
 
   flow::Job job;
@@ -226,7 +237,7 @@ TEST(ExperimentRunner, SaCachePersistenceWarmStart) {
   ASSERT_TRUE(cold.run({job})[0].ok);
   EXPECT_GT(cold.sa_cache(kWidth).misses(), 0u);
   // The run persisted the table...
-  SaCache reloaded(kWidth);
+  SaCache reloaded(kWidth, MapParams{}, mode);
   reloaded.load_file(file);
   EXPECT_EQ(reloaded.size(), cold.sa_cache(kWidth).size());
 

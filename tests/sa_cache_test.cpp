@@ -5,11 +5,13 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "flow/experiment.hpp"
 #include "power/sa_cache.hpp"
 
 namespace hlp {
@@ -164,6 +166,49 @@ TEST(SaCache, SimulatedAndEstimatedAreDistinctBackends) {
   EXPECT_GT(s, 0.0);
 }
 
+TEST(SaCacheExact, ExactModeIsDeterministicAndCached) {
+  // BDD-analytic backend (hybridised with sampling past HLP_EXACT_BUDGET).
+  SaCache c(4, MapParams{}, SaMode::kExact, /*sim_vectors=*/64);
+  EXPECT_EQ(c.mode(), SaMode::kExact);
+  const double cached = c.switching_activity(OpKind::kAdd, 1, 1);
+  EXPECT_GT(cached, 0.0);
+  EXPECT_DOUBLE_EQ(cached, c.compute_uncached(OpKind::kAdd, 1, 1));
+  EXPECT_DOUBLE_EQ(cached, c.switching_activity(OpKind::kAdd, 1, 1));
+}
+
+TEST(SaCacheExact, ThreeBackendsDisagreeOnValues) {
+  // The mode axis changes entry VALUES (unlike the simd/settle knobs) —
+  // that is the whole reason it keys caches, files and manifests. The
+  // analytic estimate, the sampler and the exact engine price the same
+  // partial datapath differently.
+  SaCache est(4);
+  SaCache sim(4, MapParams{}, SaMode::kSimulated, /*sim_vectors=*/64);
+  SaCache exact(4, MapParams{}, SaMode::kExact, /*sim_vectors=*/64);
+  const double e = est.switching_activity(OpKind::kAdd, 1, 1);
+  const double s = sim.switching_activity(OpKind::kAdd, 1, 1);
+  const double x = exact.switching_activity(OpKind::kAdd, 1, 1);
+  EXPECT_GT(e, 0.0);
+  EXPECT_GT(s, 0.0);
+  EXPECT_GT(x, 0.0);
+  EXPECT_NE(e, x);
+}
+
+TEST(SaCacheExact, FileRoundTripPreservesModeTag) {
+  const std::string path = ::testing::TempDir() + "/sa_exact_table.txt";
+  double computed = 0.0;
+  {
+    SaCache a(4, MapParams{}, SaMode::kExact, /*sim_vectors=*/64);
+    computed = a.switching_activity(OpKind::kAdd, 1, 2);
+    a.save_file(path);
+  }
+  // Same-mode cache: merges cleanly, answers without recomputation.
+  SaCache b(4, MapParams{}, SaMode::kExact, /*sim_vectors=*/64);
+  EXPECT_EQ(b.merge_from(path), 1u);
+  EXPECT_DOUBLE_EQ(b.switching_activity(OpKind::kAdd, 1, 2), computed);
+  EXPECT_EQ(b.misses(), 0u);
+  std::remove(path.c_str());
+}
+
 // ---- shard merging (the distributed runner's SA reconciliation) ----------
 
 // A saved table whose entries were computed here, for building shard files.
@@ -291,6 +336,51 @@ TEST(SaCacheMerge, WarmStartHitsAfterMergeFile) {
   std::remove(path.c_str());
 }
 
+TEST(SaCacheMerge, ModeMismatchRejectedWithoutPartialMerge) {
+  // A shard computed under another SA backend carries different VALUES for
+  // the same keys; merging it would poison the table. The header check
+  // fires before any entry is staged.
+  SaCache exact(4, MapParams{}, SaMode::kExact, /*sim_vectors=*/64);
+  exact.switching_activity(OpKind::kAdd, 1, 1);
+  exact.switching_activity(OpKind::kMult, 1, 1);
+  const std::string text = shard_text(exact);
+
+  for (const SaMode mode : {SaMode::kEstimated, SaMode::kSimulated}) {
+    SaCache dst(4, MapParams{}, mode, /*sim_vectors=*/64);
+    std::istringstream shard(text);
+    try {
+      dst.merge_from(shard, "test shard");
+      FAIL() << "expected a mode mismatch rejection into "
+             << sa_mode_name(mode);
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("mode 'exact'"), std::string::npos) << what;
+      EXPECT_NE(what.find(sa_mode_name(mode)), std::string::npos) << what;
+    }
+    EXPECT_EQ(dst.size(), 0u);  // nothing partially merged
+  }
+}
+
+TEST(SaCacheMerge, LegacyUntaggedTablesAreEstimateMode) {
+  // Tables written before the mode tag existed have a bare header; they
+  // can only be estimate-mode, so only an estimate cache accepts them.
+  const std::string legacy = "# SaCache width=4 k=4\nadd 1 1 3.0\n# end 1\n";
+  SaCache est(4);
+  std::istringstream ok(legacy);
+  EXPECT_EQ(est.merge_from(ok, "test shard"), 1u);
+
+  SaCache exact(4, MapParams{}, SaMode::kExact, /*sim_vectors=*/64);
+  std::istringstream bad(legacy);
+  try {
+    exact.merge_from(bad, "test shard");
+    FAIL() << "expected the legacy table to be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no mode tag"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(exact.size(), 0u);
+}
+
 TEST(SaCacheMerge, SaveLoadStillToleratesFooter) {
   // load() (the warm-start reader) must keep reading footer-bearing
   // tables as plain comments.
@@ -300,6 +390,53 @@ TEST(SaCacheMerge, SaveLoadStillToleratesFooter) {
   SaCache b = small_cache();
   b.load(in);
   EXPECT_EQ(b.size(), 1u);
+}
+
+// ---- warm-start files of the mode axis (HLP_SA_CACHE mechanism) ----------
+
+TEST(SaCacheExact, RunnerSuffixKeepsLegacyEstimateName) {
+  // Estimate tables keep the pre-mode-axis file name so existing caches
+  // stay warm; the other modes get their own files under one prefix.
+  EXPECT_EQ(flow::sa_cache_file_suffix(8, SaMode::kEstimated), ".w8");
+  EXPECT_EQ(flow::sa_cache_file_suffix(4, SaMode::kSimulated), ".w4.sim");
+  EXPECT_EQ(flow::sa_cache_file_suffix(4, SaMode::kExact), ".w4.exact");
+}
+
+TEST(SaCacheExact, RunnerPersistsAndPreloadsExactTables) {
+  // The ExperimentRunner's HLP_SA_CACHE persist/preload cycle, mode-aware:
+  // an exact-mode run writes "<prefix>.w4.exact", and a fresh runner with
+  // the same prefix starts warm — the table answers with zero misses.
+  const std::string prefix = ::testing::TempDir() + "/sa_exact_warm";
+  const std::string file =
+      prefix + flow::sa_cache_file_suffix(4, SaMode::kExact);
+  std::remove(file.c_str());
+
+  flow::Job job;
+  job.benchmark = "pr";
+  job.width = 4;
+  job.num_vectors = 8;
+  job.sa = SaMode::kExact;
+  {
+    flow::ExperimentRunner runner(1);
+    runner.set_sa_cache_path(prefix);
+    const auto results = runner.run({job});
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_GT(runner.sa_cache(4, SaMode::kExact).size(), 0u);
+  }
+  {
+    std::ifstream probe(file);
+    ASSERT_TRUE(probe.good()) << "expected warm-start file '" << file << "'";
+  }
+  flow::ExperimentRunner warm(1);
+  warm.set_sa_cache_path(prefix);
+  SaCache& cache = warm.sa_cache(4, SaMode::kExact);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  // Re-running the same job hits the preloaded entries: still no misses.
+  const auto rerun = warm.run({job});
+  ASSERT_TRUE(rerun[0].ok) << rerun[0].error;
+  EXPECT_EQ(cache.misses(), 0u);
+  std::remove(file.c_str());
 }
 
 }  // namespace

@@ -23,10 +23,12 @@
 // computed. Stdout belongs to the protocol; diagnostics go to stderr.
 //
 // Either way, the switching-activity tables the work produced are
-// persisted to "<sa-out prefix>.w<width>" (atomically; in serve mode once,
-// at exit) for the parent to merge with SaCache::merge_from; "--sa-in"
-// preloads tables from a shared warm-start prefix first, so a worker
-// starts as warm as the parent.
+// persisted to "<sa-out prefix>.w<width>[.<mode>]" (atomically; in serve
+// mode once, at exit; see flow::sa_cache_file_suffix) for the parent to
+// merge with SaCache::merge_from; "--sa-in" preloads tables from a shared
+// warm-start prefix first, so a worker starts as warm as the parent. The
+// SA mode itself arrives pre-resolved in each manifest row (`sa=`), so a
+// worker's own HLP_SA_MODE never influences which backend runs.
 //
 // Exit status: 0 when the work ran — including jobs that failed, which
 // report through their serialized JobResult::error, exactly like the
@@ -48,6 +50,7 @@
 #include <iostream>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -121,18 +124,23 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-// Preload the shared warm-start table for every width in `jobs` that has
-// not been preloaded yet. Must run before the first job of a width
-// computes anything, which is why the serve loop calls it per unit.
+// Preload the shared warm-start table for every (width, SA mode) pair in
+// `jobs` that has not been preloaded yet. The mode arrives pre-resolved in
+// the manifest (`sa=`), so the worker opens exactly the table the parent
+// would — never consulting its own HLP_SA_MODE. Must run before the first
+// job of a pair computes anything, which is why the serve loop calls it
+// per unit.
 void preload_sa(hlp::flow::ExperimentRunner& runner, const std::string& sa_in,
                 const std::vector<hlp::flow::ManifestJob>& jobs,
-                std::set<int>& preloaded) {
+                std::set<std::pair<int, hlp::SaMode>>& preloaded) {
   if (sa_in.empty()) return;
   for (const hlp::flow::ManifestJob& mj : jobs) {
-    if (!preloaded.insert(mj.job.width).second) continue;
-    const std::string file = sa_in + ".w" + std::to_string(mj.job.width);
+    const hlp::SaMode mode = hlp::effective_sa_mode(mj.job.sa);
+    if (!preloaded.insert({mj.job.width, mode}).second) continue;
+    const std::string file =
+        sa_in + hlp::flow::sa_cache_file_suffix(mj.job.width, mode);
     if (std::ifstream probe(file); probe.good())
-      runner.sa_cache(mj.job.width).load_file(file);
+      runner.sa_cache(mj.job.width, mode).load_file(file);
   }
 }
 
@@ -145,7 +153,7 @@ int run_batch(const Options& opt) {
   runner.set_coalescing(opt.coalesce);
   // Private SA shard out (run() persists there); shared warm start in.
   runner.set_sa_cache_path(opt.sa_out);  // empty = no persistence
-  std::set<int> preloaded;
+  std::set<std::pair<int, hlp::SaMode>> preloaded;
   preload_sa(runner, opt.sa_in, slice, preloaded);
 
   std::vector<flow::Job> jobs;
@@ -174,7 +182,7 @@ int run_serve(const Options& opt) {
   // after every unit (and must not inherit HLP_SA_CACHE from the parent's
   // environment) — the shard is written once, at exit.
   runner.set_sa_cache_path("");
-  std::set<int> preloaded;
+  std::set<std::pair<int, hlp::SaMode>> preloaded;
 
   std::size_t units = 0, jobs_run = 0, failed = 0;
   while (true) {
