@@ -1,6 +1,10 @@
 #include "bench_common.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <ostream>
@@ -538,6 +542,99 @@ void print_dispatch_sweep(std::ostream& os,
   os << "(static/this > 1: that dispatch beats the static split; the "
         "stream row is the work-stealing payoff — the anneal prefix "
         "spreads across every worker instead of gating slice 0)\n\n";
+}
+
+StoreSweepReport store_sweep(const std::string& name,
+                             const flow::BinderSpec& spec, int num_seeds) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(num_seeds);
+  for (int s = 0; s < num_seeds; ++s) seeds.push_back(100 + s);
+  const auto jobs =
+      flow::ExperimentRunner::grid({name}, {spec}, seeds, {}, job(name, spec));
+
+  // A fresh store per sweep, in the system temp dir (pid-qualified so
+  // concurrent bench invocations cannot collide), removed afterwards.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("hlp-store-sweep-" + std::to_string(::getpid()) + "-" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  StoreSweepReport rep;
+  rep.benchmark = name;
+  rep.num_seeds = num_seeds;
+
+  // Every job of a coalesced group carries a copy of the group's shared
+  // stage ledger, so weight each copy by 1/group_size to recover the
+  // actual once-per-invocation stage seconds.
+  const auto span_seconds = [](const std::vector<flow::JobResult>& results) {
+    double total = 0.0;
+    for (const auto& r : results)
+      for (const auto& t : r.outcome.timings)
+        if (t.name == "bind-fus" || t.name == "refine" ||
+            t.name == "elaborate" || t.name == "map" || t.name == "time")
+          total += t.seconds / static_cast<double>(std::max<std::size_t>(
+                                   r.group_size, 1));
+    return total;
+  };
+
+  // Single-threaded with private cold SA caches on both sides: the store
+  // directory is the ONLY state cold hands to warm, so the warm column
+  // measures exactly what persistence buys a process restart.
+  flow::ExperimentRunner cold(1);
+  cold.set_store_dir(dir);
+  auto t0 = Clock::now();
+  const auto first = cold.run(jobs);
+  rep.cold_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  rep.span_cold_s = span_seconds(first);
+
+  flow::ExperimentRunner warm(1);
+  warm.set_store_dir(dir);
+  t0 = Clock::now();
+  const auto second = warm.run(jobs);
+  rep.warm_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  rep.span_warm_s = span_seconds(second);
+
+  rep.identical = first.size() == second.size();
+  rep.warm_cached = rep.identical;
+  for (std::size_t i = 0; rep.identical && i < first.size(); ++i) {
+    rep.identical = first[i].ok && second[i].ok &&
+                    flow::same_outcome(first[i], second[i]);
+    rep.warm_cached =
+        rep.warm_cached && !second[i].outcome.cached_stages.empty();
+  }
+  std::filesystem::remove_all(dir);
+  return rep;
+}
+
+void print_store_sweep(std::ostream& os,
+                       const std::vector<std::string>& benchmarks,
+                       int num_seeds) {
+  AsciiTable t({"Benchmark", "seeds", "cold (ms)", "warm (ms)", "speedup",
+                "span cold (ms)", "span warm (ms)", "identical", "cached"});
+  for (const auto& name : benchmarks) {
+    const StoreSweepReport rep =
+        store_sweep(name, flow::BinderSpec{"hlpower"}, num_seeds);
+    t.row()
+        .add(rep.benchmark)
+        .add(rep.num_seeds)
+        .add(rep.cold_s * 1e3, 1)
+        .add(rep.warm_s * 1e3, 1)
+        .add(rep.speedup(), 2)
+        .add(rep.span_cold_s * 1e3, 1)
+        .add(rep.span_warm_s * 1e3, 1)
+        .add(rep.identical ? "yes" : "NO")
+        .add(rep.warm_cached ? "yes" : "NO");
+  }
+  os << "Artifact store: " << num_seeds
+     << "-seed sweep per binding, cold populate vs warm restart against "
+        "one HLP_STORE directory (fresh runners, private SA caches; the "
+        "store is the only shared state — 'identical' and 'cached' must "
+        "be yes)\n";
+  t.print(os);
+  os << "(span = bind-fus..time stage seconds the store persists; the "
+        "warm span is the disk-probe cost that replaces recomputation)\n\n";
 }
 
 }  // namespace hlp::bench

@@ -224,4 +224,36 @@ void print_dispatch_sweep(std::ostream& os,
                           const std::vector<std::string>& benchmarks,
                           int num_seeds, int parallelism = 0);
 
+/// One cold-vs-warm comparison of the persistent artifact store
+/// (src/store/artifact_store.hpp): the same `num_seeds`-seed (benchmark,
+/// binder) grid run by a cold runner that populates a fresh store, then by
+/// a second fresh runner (empty in-memory caches — a process restart in
+/// miniature) warm-starting from it. `identical` confirms the warm run
+/// agreed bit for bit (flow::same_outcome); `warm_cached` that every warm
+/// job actually skipped the bind-fus..time span; the span_*_s fields
+/// isolate the stage seconds the store saves from the grid's wall clock.
+struct StoreSweepReport {
+  std::string benchmark;
+  int num_seeds = 0;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  /// Summed per-stage seconds of the cacheable span (bind-fus, refine,
+  /// elaborate, map, time) across the grid's pipeline invocations.
+  double span_cold_s = 0.0;
+  double span_warm_s = 0.0;
+  bool identical = false;
+  bool warm_cached = false;
+  double speedup() const { return warm_s > 0.0 ? cold_s / warm_s : 0.0; }
+};
+StoreSweepReport store_sweep(const std::string& name,
+                             const flow::BinderSpec& spec, int num_seeds);
+
+/// Run store_sweep over `benchmarks` and print the cold-vs-warm table
+/// (the CI artifact-store leg's stage-timing artifact). Both runners are
+/// single-threaded with private SA caches, so the store is the only state
+/// they share.
+void print_store_sweep(std::ostream& os,
+                       const std::vector<std::string>& benchmarks,
+                       int num_seeds);
+
 }  // namespace hlp::bench

@@ -71,6 +71,11 @@ int main(int argc, char** argv) {
   // across every worker. Bit-identity across threads/static/stream is
   // checked in the same table.
   hlp::bench::print_dispatch_sweep(std::cout, {"wang", "pr"}, 32);
+  // The persistence axis: the same sweep cold (populating a fresh
+  // HLP_STORE directory) and then warm from a fresh runner — the
+  // cold-vs-warm stage-timing artifact of the CI artifact-store leg.
+  // Bit-identity and whole-span cache hits are checked in the table.
+  hlp::bench::print_store_sweep(std::cout, {"wang", "pr"}, 64);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

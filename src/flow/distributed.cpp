@@ -259,6 +259,13 @@ std::vector<JobResult> DistributedRunner::run_static(
       args.push_back("--sa-in");
       args.push_back(local_.sa_cache_path());
     }
+    if (!local_.store_dir().empty()) {
+      // Workers share the parent's artifact store (explicit flag, never
+      // their own HLP_STORE): each opens its own handle with a private
+      // staging dir, so concurrent publishes stay atomic.
+      args.push_back("--store");
+      args.push_back(local_.store_dir());
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -462,6 +469,13 @@ std::vector<JobResult> DistributedRunner::run_stream(
     if (!local_.sa_cache_path().empty()) {
       args.push_back("--sa-in");
       args.push_back(local_.sa_cache_path());
+    }
+    if (!local_.store_dir().empty()) {
+      // Workers share the parent's artifact store (explicit flag, never
+      // their own HLP_STORE): each opens its own handle with a private
+      // staging dir, so concurrent publishes stay atomic.
+      args.push_back("--store");
+      args.push_back(local_.store_dir());
     }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);

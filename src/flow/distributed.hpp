@@ -125,6 +125,14 @@ class DistributedRunner {
   void set_coalescing(bool on);
   bool coalescing() const { return local_.coalescing(); }
 
+  /// Shared artifact-store directory (HLP_STORE is the constructor
+  /// default, via the local runner). When non-empty every worker process
+  /// is launched with `--store <dir>` so the whole fleet publishes into
+  /// one store — each worker stages its atomic writes under a private
+  /// staging dir — and the in-process fallback persists there too.
+  void set_store_dir(std::string dir) { local_.set_store_dir(std::move(dir)); }
+  const std::string& store_dir() const { return local_.store_dir(); }
+
   /// The in-process runner behind the workers <= 1 fallback; also hosts
   /// the merged SA tables (local().sa_cache(width) after a run).
   ExperimentRunner& local() { return local_; }

@@ -14,6 +14,7 @@
 #include "cdfg/benchmarks.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "store/artifact_store.hpp"
 
 namespace hlp::flow {
 
@@ -26,6 +27,12 @@ bool coalesce_from_env(bool fallback) {
   HLP_REQUIRE(v == "0" || v == "1",
               "HLP_COALESCE='" << v << "' must be 0 or 1");
   return v == "1";
+}
+
+std::string store_dir_from_env(std::string fallback) {
+  const char* env = std::getenv("HLP_STORE");
+  if (!env || *env == '\0') return fallback;
+  return env;
 }
 
 namespace {
@@ -139,11 +146,42 @@ ExperimentRunner::ExperimentRunner(int num_threads, GraphProvider provider,
       coalesce_(coalesce_from_env(true)) {
   if (const char* env = std::getenv("HLP_SA_CACHE"); env && *env != '\0')
     sa_cache_path_ = env;
+  store_dir_ = store_dir_from_env("");
+  store_from_env_ = !store_dir_.empty();
 }
+
+ExperimentRunner::~ExperimentRunner() = default;
 
 void ExperimentRunner::set_sa_cache_path(std::string path) {
   std::lock_guard<std::mutex> lock(mu_);
   sa_cache_path_ = std::move(path);
+}
+
+void ExperimentRunner::set_store_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_dir_ = std::move(dir);
+  store_from_env_ = false;  // explicit wins over the environment
+  store_.reset();
+}
+
+store::ArtifactStore* ExperimentRunner::ensure_store_locked() {
+  if (store_ || store_dir_.empty()) return store_.get();
+  try {
+    store_ = std::make_unique<store::ArtifactStore>(store_dir_);
+  } catch (const std::exception& e) {
+    if (store_from_env_)
+      HLP_REQUIRE(false, "HLP_STORE='" << store_dir_
+                                       << "': cannot open artifact store: "
+                                       << e.what());
+    HLP_REQUIRE(false, "cannot open artifact store at '" << store_dir_
+                                                         << "': " << e.what());
+  }
+  return store_.get();
+}
+
+store::ArtifactStore* ExperimentRunner::artifact_store() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ensure_store_locked();
 }
 
 std::string ExperimentRunner::cache_file_for(int width, SaMode mode) const {
@@ -187,12 +225,20 @@ FlowContext& ExperimentRunner::context_for(const Job& job) {
     opt.sa_mode = mode;
     slot = std::make_unique<FlowContext>(provider_(job.benchmark), job.rc,
                                          std::move(opt), &cache);
+    // Contexts outlive neither the runner nor its store handle, so the
+    // raw pointer is safe; the context key doubles as the store scope
+    // (plus the CDFG digest the context appends itself).
+    if (store::ArtifactStore* store = ensure_store_locked())
+      slot->set_artifact_store(store, key);
   }
   return *slot;
 }
 
 std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
   using Clock = std::chrono::steady_clock;
+  // Open the store before dispatching anything: a bad HLP_STORE value is
+  // one loud configuration error, not a per-job failure times the grid.
+  artifact_store();
   std::vector<JobResult> results(jobs.size());
   const Pipeline pipeline = Pipeline::standard();
 

@@ -32,6 +32,10 @@
 #include "flow/pipeline.hpp"
 #include "power/sa_cache.hpp"
 
+namespace hlp::store {
+class ArtifactStore;  // store/artifact_store.hpp
+}
+
 namespace hlp::flow {
 
 /// Worker threads from the HLP_JOBS env var, else `fallback`. Strictly
@@ -41,6 +45,12 @@ int jobs_from_env(int fallback);
 /// Seed-coalescing toggle from the HLP_COALESCE env var, else `fallback`.
 /// Strict like the other env parsers: only "0" and "1" are accepted.
 bool coalesce_from_env(bool fallback);
+
+/// Artifact-store directory from the HLP_STORE env var, else `fallback`.
+/// The value is a path, so there is nothing to parse — validation is
+/// deferred to opening the store (ExperimentRunner::artifact_store throws
+/// an error naming HLP_STORE when the directory cannot be created).
+std::string store_dir_from_env(std::string fallback);
 
 /// One cell of the experiment grid.
 struct Job {
@@ -129,6 +139,7 @@ class ExperimentRunner {
   /// other widths get runner-owned per-width caches.
   explicit ExperimentRunner(int num_threads = 1, GraphProvider provider = {},
                             SaCache* shared_cache = nullptr);
+  ~ExperimentRunner();  // out of line: ArtifactStore is incomplete here
 
   /// Run all jobs; results in job order.
   std::vector<JobResult> run(const std::vector<Job>& jobs);
@@ -159,6 +170,24 @@ class ExperimentRunner {
   /// configured.
   void persist_sa_caches();
 
+  /// Persistent artifact-store directory. When non-empty, every context
+  /// this runner creates gets its StageCache backed by one shared
+  /// ArtifactStore rooted there (miss -> disk probe -> compute ->
+  /// publish), so a second run over the same grid skips the
+  /// bind-fus..time stages bit-identically. The constructor reads the
+  /// HLP_STORE env var as the default; an explicit call wins over the
+  /// environment (empty disables persistence). Takes effect for contexts
+  /// created after the call.
+  void set_store_dir(std::string dir);
+  const std::string& store_dir() const { return store_dir_; }
+
+  /// The shared store handle (opened on first use; null when no store
+  /// dir is configured). Throws hlp::Error naming HLP_STORE — or the
+  /// explicit path — when the directory cannot be created; run() opens
+  /// the store up front so a bad HLP_STORE fails loudly instead of as N
+  /// identical per-job errors.
+  store::ArtifactStore* artifact_store();
+
   /// Coalesce jobs that differ only in stimulus seed into one
   /// Pipeline::run_batch call (one seed per simulator lane, chunked to
   /// the job's resolved word width). On by default; the HLP_COALESCE env
@@ -182,14 +211,18 @@ class ExperimentRunner {
 
  private:
   std::string cache_file_for(int width, SaMode mode) const;
+  store::ArtifactStore* ensure_store_locked();
 
   int num_threads_;
   GraphProvider provider_;
   SaCache* external_cache_;
   bool coalesce_ = true;
   std::string sa_cache_path_;
+  std::string store_dir_;
+  bool store_from_env_ = false;  // error messages name HLP_STORE then
+  std::unique_ptr<store::ArtifactStore> store_;
 
-  std::mutex mu_;  // guards the two maps
+  std::mutex mu_;  // guards the maps and the store handle
   std::map<std::string, std::unique_ptr<FlowContext>> contexts_;
   std::map<std::pair<int, SaMode>, std::unique_ptr<SaCache>> caches_;
 };

@@ -39,6 +39,43 @@ FlowContext::FlowContext(Cdfg g, ResourceConstraint rc, ContextOptions opt,
 
 FlowContext::~FlowContext() = default;
 
+namespace {
+
+// Structural digest of a CDFG: FNV-1a 64 over an exact serialisation of
+// everything downstream stages can observe (names included — net names in
+// the elaborated datapath derive from them). Two providers that reuse a
+// benchmark name for different graphs therefore land in different
+// artifact-store scopes instead of aliasing each other's entries.
+std::string cdfg_digest(const Cdfg& g) {
+  std::ostringstream os;
+  os << g.name() << ';' << g.num_inputs() << ';';
+  for (int i = 0; i < g.num_inputs(); ++i) os << g.input_name(i) << ',';
+  os << ';';
+  for (const Operation& op : g.ops())
+    os << op.name << ',' << static_cast<int>(op.kind) << ','
+       << static_cast<int>(op.lhs.kind) << ',' << op.lhs.index << ','
+       << static_cast<int>(op.rhs.kind) << ',' << op.rhs.index << ';';
+  for (const Output& out : g.outputs())
+    os << out.name << ',' << static_cast<int>(out.value.kind) << ','
+       << out.value.index << ';';
+  const std::string s = os.str();
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  std::ostringstream hex;
+  hex << std::hex << h;
+  return hex.str();
+}
+
+}  // namespace
+
+void FlowContext::set_artifact_store(store::ArtifactStore* store,
+                                     const std::string& scope) {
+  stage_cache_->bind_store(store, scope + "|g" + cdfg_digest(g_));
+}
+
 std::string FlowContext::binding_hash(const BinderSpec& binder,
                                       const MapParams& map,
                                       const TimingModel& timing) {

@@ -29,6 +29,10 @@
 #include "power/sa_cache.hpp"
 #include "sched/schedule.hpp"
 
+namespace hlp::store {
+class ArtifactStore;  // store/artifact_store.hpp
+}
+
 namespace hlp::flow {
 
 class StageCache;  // pipeline.hpp — per-binding artifact cache
@@ -81,6 +85,15 @@ class FlowContext {
   /// through time), keyed by binding_hash(). The pipeline consults it so a
   /// sweep that revisits a binding skips straight to simulate.
   StageCache& stage_cache() { return *stage_cache_; }
+
+  /// Back the StageCache with a persistent ArtifactStore (non-owning,
+  /// must outlive this context; null unbinds): memory misses fall through
+  /// to a disk probe and computed entries are published back. `scope`
+  /// names the context's experimental identity (the runner passes its
+  /// context key); a structural digest of the CDFG is appended so two
+  /// graph providers reusing one benchmark name can never share entries.
+  void set_artifact_store(store::ArtifactStore* store,
+                          const std::string& scope);
 
   /// Exact cache key for the artifacts a (binder, mapping, timing) triple
   /// produces on this context. Not a lossy digest: the key serialises

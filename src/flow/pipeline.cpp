@@ -6,6 +6,7 @@
 #include "binding/datapath_stats.hpp"
 #include "common/error.hpp"
 #include "flow/seed_chunk.hpp"
+#include "store/artifact_store.hpp"
 #include "netlist/timing.hpp"
 #include "sim/levelize.hpp"
 #include "sim/vectors.hpp"
@@ -30,10 +31,44 @@ std::shared_ptr<const StageCache::Entry> StageCache::find(
   return entry;
 }
 
+std::shared_ptr<const StageCache::Entry> StageCache::find(
+    const std::string& key, const StoreTags& tags) {
+  auto entry = find(key);  // counts the memory hit/miss either way
+  if (entry || !store_) return entry;
+  entry = store_->find(
+      store::ArtifactKey{store_scope_, key, tags.sa, tags.settle, tags.simd});
+  if (entry) {
+    ++disk_hits_;
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(key, entry);
+  }
+  return entry;
+}
+
 void StageCache::insert(const std::string& key, Entry entry) {
   auto holder = std::make_shared<const Entry>(std::move(entry));
   std::lock_guard<std::mutex> lock(mu_);
   entries_.emplace(key, std::move(holder));
+}
+
+void StageCache::insert(const std::string& key, const StoreTags& tags,
+                        Entry entry) {
+  auto holder = std::make_shared<const Entry>(std::move(entry));
+  // Persist first: a publish conflict (two incompatible configurations
+  // sharing one store) must surface as this run's error, not after the
+  // memory cache already accepted the entry.
+  if (store_)
+    store_->publish(
+        store::ArtifactKey{store_scope_, key, tags.sa, tags.settle, tags.simd},
+        *holder);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.emplace(key, std::move(holder));
+}
+
+void StageCache::bind_store(store::ArtifactStore* store, std::string scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_ = store;
+  store_scope_ = std::move(scope);
 }
 
 std::size_t StageCache::size() const {
@@ -211,8 +246,16 @@ Pipeline::CacheCursor Pipeline::make_cursor(FlowContext& ctx,
                                             const RunSpec& spec) const {
   CacheCursor cursor;
   cursor.enabled = cache_safe_ && spec.use_stage_cache;
-  if (cursor.enabled)
+  if (cursor.enabled) {
     cursor.key = ctx.binding_hash(spec.binder, spec.map, spec.timing);
+    // Mode tags for the persistent store, mirroring the runner's group
+    // key: the SA backend resolved (it changes values), settle/simd as
+    // REQUESTED (they cannot change the cached artifacts, so two hosts
+    // resolving kAuto differently must still share entries).
+    cursor.tags.sa = sa_mode_name(ctx.sa_cache().mode());
+    cursor.tags.settle = settle_mode_name(spec.settle);
+    cursor.tags.simd = simd_mode_name(spec.simd);
+  }
   return cursor;
 }
 
@@ -222,7 +265,7 @@ void Pipeline::run_stage(PipelineState& st, const Stage& stage,
   const bool cacheable = cursor.enabled && is_cached_stage(stage.name);
   if (cacheable && !cursor.probed) {
     cursor.probed = true;  // one hit/miss per run, probed at bind-fus
-    cursor.hit = st.ctx.stage_cache().find(cursor.key);
+    cursor.hit = st.ctx.stage_cache().find(cursor.key, cursor.tags);
   }
   const auto t0 = Clock::now();
   if (cacheable && cursor.hit) {
@@ -236,7 +279,7 @@ void Pipeline::run_stage(PipelineState& st, const Stage& stage,
   if (stage.name == "bind-fus" || stage.name == "refine")
     st.out.bind_seconds += secs;
   if (cursor.enabled && !cursor.hit && stage.name == "time")
-    st.ctx.stage_cache().insert(cursor.key, capture_entry(st));
+    st.ctx.stage_cache().insert(cursor.key, cursor.tags, capture_entry(st));
 }
 
 PipelineOutcome Pipeline::run(FlowContext& ctx, const RunSpec& spec) const {

@@ -38,6 +38,10 @@
 #include "rtl/flow.hpp"
 #include "sim/bit_sim.hpp"
 
+namespace hlp::store {
+class ArtifactStore;  // store/artifact_store.hpp
+}
+
 namespace hlp::flow {
 
 /// Per-run evaluation parameters (the per-job half of FlowParams; the
@@ -95,6 +99,18 @@ struct RunSpec {
 /// bind-fus straight to simulate. Thread-safe; concurrent misses on one
 /// key both compute (value-identical by determinism) and the first insert
 /// wins.
+/// The sa/settle/simd mode tags of one cached artifact, mirroring the
+/// ExperimentRunner group-key axes: the resolved SA backend name plus the
+/// *requested* settle and simd mode names. Only meaningful when a
+/// persistent ArtifactStore is bound — the in-memory map keys on
+/// binding_hash() alone (which already encodes the SA mode; settle/simd
+/// cannot change the bind-fus..time artifacts).
+struct StoreTags {
+  std::string sa;
+  std::string settle;
+  std::string simd;
+};
+
 class StageCache {
  public:
   struct Entry {
@@ -109,19 +125,40 @@ class StageCache {
 
   /// The published entry for `key`, or null. Counts one hit or miss.
   std::shared_ptr<const Entry> find(const std::string& key);
+  /// Store-aware probe: a memory miss (still counted as a miss) falls
+  /// through to the bound ArtifactStore; a disk hit (counted via
+  /// disk_hits) repopulates the memory map so later probes stay local.
+  /// Without a bound store this is exactly find(key).
+  std::shared_ptr<const Entry> find(const std::string& key,
+                                    const StoreTags& tags);
   /// Publish the artifacts for `key` (first writer wins).
   void insert(const std::string& key, Entry entry);
+  /// Store-aware publish: also persists the entry to the bound
+  /// ArtifactStore (atomic write-then-rename, overlap-must-agree) before
+  /// inserting it into the memory map.
+  void insert(const std::string& key, const StoreTags& tags, Entry entry);
+
+  /// Bind a persistent ArtifactStore (non-owning; null unbinds). `scope`
+  /// is the context-identity half of every ArtifactKey this cache reads
+  /// or writes — see FlowContext::set_artifact_store.
+  void bind_store(store::ArtifactStore* store, std::string scope);
+  store::ArtifactStore* store() const { return store_; }
 
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
+  /// Memory misses satisfied from the bound ArtifactStore.
+  std::uint64_t disk_hits() const { return disk_hits_.load(); }
   std::size_t size() const;
   void clear();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const Entry>> entries_;
+  store::ArtifactStore* store_ = nullptr;
+  std::string store_scope_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
 };
 
 struct StageTiming {
@@ -207,6 +244,7 @@ class Pipeline {
     bool enabled = false;
     bool probed = false;
     std::string key;
+    StoreTags tags;  // mode tags for the persistent-store probe/publish
     std::shared_ptr<const StageCache::Entry> hit;
   };
 

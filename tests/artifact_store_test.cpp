@@ -1,0 +1,458 @@
+// Fault-injection tier for the content-addressed artifact store
+// (src/store/artifact_store.hpp), modeled on the sa_cache_test merge
+// suite: exact round trips, then every corruption we can inflict —
+// truncation, bit flips, wrong magic/footer, tampered mode tags, renamed
+// files, stray temp litter — must be rejected WITHOUT poisoning the store
+// (lenient find degrades to a miss; strict load/merge names the defect),
+// plus overlap-must-agree publish/merge semantics and a SIGKILL-mid-
+// publish crash-safety check (atomic write-then-rename: a dead writer
+// leaves staging litter, never a half-written object).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "store/artifact_store.hpp"
+
+namespace hlp {
+namespace {
+
+namespace fs = std::filesystem;
+using store::ArtifactKey;
+using store::ArtifactStore;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  fs::remove_all(path);
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << path;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << bytes;
+  ASSERT_TRUE(os.good()) << path;
+}
+
+// A small but fully-featured netlist: inputs, gates, a latch, an output —
+// every construct the serializer must round-trip.
+Netlist small_netlist(const std::string& name) {
+  Netlist n(name);
+  const NetId a = n.add_input("a");
+  const NetId b = n.add_input("b");
+  const NetId x = n.add_net("x");
+  n.add_gate(x, {a, b}, TruthTable::and2());
+  const NetId q = n.add_net("q");
+  n.add_latch(q, x);
+  const NetId y = n.add_net("y");
+  n.add_gate(y, {q, a}, TruthTable::xor2());
+  n.add_output(y);
+  return n;
+}
+
+ArtifactStore::Entry make_entry(double clock = 1.5) {
+  ArtifactStore::Entry e;
+  e.fus.fu_of_op = {0, 1, 0};
+  e.fus.kind_of_fu = {OpKind::kAdd, OpKind::kMult};
+  e.fus.flipped = {0, 1, 0};
+  e.refined = true;
+  e.refine.fus = e.fus;
+  e.refine.flips_applied = 2;
+  e.refine.passes = 3;
+  e.refine.cost_before = 1.25;
+  e.refine.cost_after = 0.625;
+  e.mux_stats.largest_mux = 3;
+  e.mux_stats.mux_length = 5;
+  e.mux_stats.num_fus = 2;
+  e.mux_stats.muxdiff_mean = 0.5;
+  e.mux_stats.muxdiff_variance = 0.25;
+  e.mux_stats.mux_size_a = {2, 3};
+  e.mux_stats.mux_size_b = {1, 2};
+  e.mux_stats.muxdiff = {1, 1};
+  e.datapath.netlist = small_netlist("dp");
+  e.datapath.width = 4;
+  e.datapath.num_phases = 3;
+  e.datapath.data_input_pos = {0, 1};
+  // A name with spaces exercises the percent escaping.
+  e.datapath.controls.push_back({"mux sel 0", {0, 1}, {0, 2, 1}});
+  e.mapped.lut_netlist = small_netlist("mapped");
+  e.mapped.num_luts = 2;
+  e.mapped.depth = 2;
+  e.clock_period_ns = clock;
+  return e;
+}
+
+ArtifactKey make_key(const std::string& binding = "binder|0x1p-1|4",
+                     const std::string& sa = "estimate") {
+  return {"pr|list|2x2|4|42|gcafe", binding, sa, "auto", "auto"};
+}
+
+void expect_entry_eq(const ArtifactStore::Entry& a,
+                     const ArtifactStore::Entry& b) {
+  EXPECT_EQ(a.fus.fu_of_op, b.fus.fu_of_op);
+  EXPECT_EQ(a.fus.kind_of_fu, b.fus.kind_of_fu);
+  EXPECT_EQ(a.fus.flipped, b.fus.flipped);
+  EXPECT_EQ(a.refined, b.refined);
+  EXPECT_EQ(a.refine.fus.fu_of_op, b.refine.fus.fu_of_op);
+  EXPECT_EQ(a.refine.flips_applied, b.refine.flips_applied);
+  EXPECT_EQ(a.refine.passes, b.refine.passes);
+  EXPECT_EQ(a.refine.cost_before, b.refine.cost_before);
+  EXPECT_EQ(a.refine.cost_after, b.refine.cost_after);
+  EXPECT_EQ(a.mux_stats.largest_mux, b.mux_stats.largest_mux);
+  EXPECT_EQ(a.mux_stats.mux_length, b.mux_stats.mux_length);
+  EXPECT_EQ(a.mux_stats.num_fus, b.mux_stats.num_fus);
+  EXPECT_EQ(a.mux_stats.muxdiff_mean, b.mux_stats.muxdiff_mean);
+  EXPECT_EQ(a.mux_stats.muxdiff_variance, b.mux_stats.muxdiff_variance);
+  EXPECT_EQ(a.mux_stats.mux_size_a, b.mux_stats.mux_size_a);
+  EXPECT_EQ(a.mux_stats.mux_size_b, b.mux_stats.mux_size_b);
+  EXPECT_EQ(a.mux_stats.muxdiff, b.mux_stats.muxdiff);
+  EXPECT_EQ(a.clock_period_ns, b.clock_period_ns);
+  EXPECT_EQ(a.mapped.num_luts, b.mapped.num_luts);
+  EXPECT_EQ(a.mapped.depth, b.mapped.depth);
+  EXPECT_EQ(a.datapath.width, b.datapath.width);
+  EXPECT_EQ(a.datapath.num_phases, b.datapath.num_phases);
+  EXPECT_EQ(a.datapath.data_input_pos, b.datapath.data_input_pos);
+  ASSERT_EQ(a.datapath.controls.size(), b.datapath.controls.size());
+  for (std::size_t i = 0; i < a.datapath.controls.size(); ++i) {
+    EXPECT_EQ(a.datapath.controls[i].name, b.datapath.controls[i].name);
+    EXPECT_EQ(a.datapath.controls[i].input_positions,
+              b.datapath.controls[i].input_positions);
+    EXPECT_EQ(a.datapath.controls[i].select_by_phase,
+              b.datapath.controls[i].select_by_phase);
+  }
+  for (const auto& nets :
+       {std::pair{&a.datapath.netlist, &b.datapath.netlist},
+        std::pair{&a.mapped.lut_netlist, &b.mapped.lut_netlist}}) {
+    const Netlist& na = *nets.first;
+    const Netlist& nb = *nets.second;
+    EXPECT_EQ(na.name(), nb.name());
+    ASSERT_EQ(na.num_nets(), nb.num_nets());
+    for (NetId id = 0; id < na.num_nets(); ++id) {
+      EXPECT_EQ(na.net_name(id), nb.net_name(id));
+      EXPECT_EQ(na.is_input(id), nb.is_input(id));
+    }
+    ASSERT_EQ(na.num_gates(), nb.num_gates());
+    for (int g = 0; g < na.num_gates(); ++g) {
+      EXPECT_EQ(na.gates()[g].out, nb.gates()[g].out);
+      EXPECT_EQ(na.gates()[g].ins, nb.gates()[g].ins);
+      EXPECT_EQ(na.gates()[g].tt, nb.gates()[g].tt);
+    }
+    ASSERT_EQ(na.num_latches(), nb.num_latches());
+    for (int l = 0; l < na.num_latches(); ++l) {
+      EXPECT_EQ(na.latches()[l].q, nb.latches()[l].q);
+      EXPECT_EQ(na.latches()[l].d, nb.latches()[l].d);
+    }
+    EXPECT_EQ(na.inputs(), nb.inputs());
+    EXPECT_EQ(na.outputs(), nb.outputs());
+  }
+}
+
+TEST(ArtifactStoreFormat, SerializeParseRoundTripIsExact) {
+  const ArtifactKey key = make_key();
+  const ArtifactStore::Entry entry = make_entry();
+  const std::string bytes = ArtifactStore::serialize(key, entry);
+  const store::LoadedArtifact art = ArtifactStore::parse(bytes, "test");
+  EXPECT_EQ(art.key, key);
+  expect_entry_eq(art.entry, entry);
+  // Deterministic: re-serializing the parsed entry reproduces the bytes —
+  // the property publish()'s overlap-must-agree comparison rests on.
+  EXPECT_EQ(ArtifactStore::serialize(art.key, art.entry), bytes);
+}
+
+TEST(ArtifactStore, PublishFindRoundTripAcrossHandles) {
+  const std::string root = fresh_dir("art_roundtrip");
+  const ArtifactKey key = make_key();
+  {
+    ArtifactStore store(root);
+    store.publish(key, make_entry());
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.publishes(), 1u);
+  }
+  ArtifactStore other(root);  // fresh handle, same store
+  const auto entry = other.find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(other.hits(), 1u);
+  EXPECT_EQ(other.rejected(), 0u);
+  expect_entry_eq(*entry, make_entry());
+  // A different binding is simply absent: a miss, not a rejection.
+  EXPECT_FALSE(other.find(make_key("other-binding")));
+  EXPECT_EQ(other.misses(), 1u);
+  EXPECT_EQ(other.rejected(), 0u);
+}
+
+TEST(ArtifactStore, PublishingTheSameEntryTwiceIsANoOp) {
+  ArtifactStore store(fresh_dir("art_republish"));
+  store.publish(make_key(), make_entry());
+  store.publish(make_key(), make_entry());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.publishes(), 1u);  // the second commit was elided
+}
+
+TEST(ArtifactStore, ConflictingPublishForTheSameKeyThrows) {
+  ArtifactStore store(fresh_dir("art_conflict"));
+  const ArtifactKey key = make_key();
+  store.publish(key, make_entry(1.5));
+  try {
+    store.publish(key, make_entry(2.5));  // same key, different bytes
+    FAIL() << "conflicting publish did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("conflict"), std::string::npos)
+        << e.what();
+  }
+  // The original entry survives untouched.
+  const auto entry = store.find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->clock_period_ns, 1.5);
+}
+
+// --- fault injection -----------------------------------------------------
+
+class ArtifactStoreFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fresh_dir("art_faults");
+    store_ = std::make_unique<ArtifactStore>(root_);
+    store_->publish(key_, make_entry());
+    path_ = store_->object_path(key_);
+    blob_ = read_file(path_);
+  }
+
+  // The store must reject the bytes at path_ without poisoning itself: a
+  // lenient find degrades to null + a rejection count, a strict load
+  // throws naming the defect, and a republish repairs the entry.
+  void expect_rejected_then_repaired(const std::string& defect) {
+    EXPECT_FALSE(store_->find(key_)) << defect;
+    EXPECT_EQ(store_->rejected(), 1u) << defect;
+    try {
+      store_->load_strict(key_);
+      FAIL() << "strict load of a " << defect << " artifact did not throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("artifact"), std::string::npos)
+          << e.what();
+    }
+    // Publishing over the corrupt object repairs it byte-exactly.
+    store_->publish(key_, make_entry());
+    EXPECT_EQ(read_file(path_), blob_) << defect;
+    EXPECT_TRUE(store_->find(key_)) << defect;
+  }
+
+  std::string root_, path_, blob_;
+  ArtifactKey key_ = make_key();
+  std::unique_ptr<ArtifactStore> store_;
+};
+
+TEST_F(ArtifactStoreFaults, TruncatedEntriesAreRejected) {
+  // Cut at several depths: inside the header, the payload and the footer
+  // (dropping only the final newline still kills the footer line).
+  for (const std::size_t keep :
+       {std::size_t{5}, blob_.size() / 4, blob_.size() / 2,
+        blob_.size() - 2}) {
+    write_file(path_, blob_.substr(0, keep));
+    EXPECT_FALSE(store_->find(key_)) << "kept " << keep;
+  }
+  EXPECT_EQ(store_->rejected(), 4u);
+  write_file(path_, blob_.substr(0, blob_.size() / 2));
+  store_->publish(key_, make_entry());
+  EXPECT_EQ(read_file(path_), blob_);
+}
+
+TEST_F(ArtifactStoreFaults, BitFlippedPayloadFailsTheChecksum) {
+  std::string bytes = blob_;
+  // Flip one bit of a digit in the middle of the payload.
+  const std::size_t pos = bytes.size() / 2;
+  bytes[pos] ^= 0x01;
+  write_file(path_, bytes);
+  expect_rejected_then_repaired("bit-flipped");
+}
+
+TEST_F(ArtifactStoreFaults, WrongMagicIsRejected) {
+  std::string bytes = blob_;
+  bytes[0] = 'X';
+  write_file(path_, bytes);
+  expect_rejected_then_repaired("wrong-magic");
+}
+
+TEST_F(ArtifactStoreFaults, TamperedFooterCountIsRejected) {
+  // The footer is "end hlp-artifact <count>\n": bump the count.
+  std::string bytes = blob_;
+  const std::size_t end = bytes.rfind(" ");
+  bytes.replace(end + 1, bytes.size() - end - 2, "9999");
+  write_file(path_, bytes);
+  expect_rejected_then_repaired("bad-footer");
+}
+
+TEST_F(ArtifactStoreFaults, TamperedModeTagIsRejected) {
+  // Re-key the same entry with a different SA tag and plant those bytes at
+  // the original address: structurally valid, checksum fine — but the
+  // recorded key no longer matches the request, so the hit must refuse.
+  ArtifactKey tampered = key_;
+  tampered.sa = "exact";
+  write_file(path_, ArtifactStore::serialize(tampered, make_entry()));
+  EXPECT_FALSE(store_->find(key_));
+  EXPECT_EQ(store_->rejected(), 1u);
+  try {
+    store_->load_strict(key_);
+    FAIL() << "mode-tag mismatch did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("sa mode tag"), std::string::npos)
+        << e.what();
+  }
+  store_->publish(key_, make_entry());
+  EXPECT_EQ(read_file(path_), blob_);
+}
+
+TEST_F(ArtifactStoreFaults, StrayTempFilesNeverBecomeEntries) {
+  // A crashed writer's litter: partially-renamed / half-written temp files
+  // in objects/ and staging/. None of it may count as an entry or break a
+  // probe, and merge_from must skip it (only *.art files are entries).
+  write_file(root_ + "/objects/0123456789abcdef.art.tmp", "half-written");
+  write_file(root_ + "/objects/litter.tmp", blob_.substr(0, 40));
+  write_file(root_ + "/staging/stale.tmp", "staged-but-never-renamed");
+  EXPECT_EQ(store_->size(), 1u);
+  ASSERT_TRUE(store_->find(key_));
+  EXPECT_EQ(store_->rejected(), 0u);
+
+  ArtifactStore other(fresh_dir("art_faults_merge"));
+  EXPECT_EQ(other.merge_from(root_), 1u);
+  EXPECT_EQ(other.size(), 1u);
+}
+
+// --- merge_from ----------------------------------------------------------
+
+TEST(ArtifactStoreMerge, InsertsNewEntriesAndAgreesOnOverlap) {
+  const std::string a_root = fresh_dir("art_merge_a");
+  const std::string b_root = fresh_dir("art_merge_b");
+  ArtifactStore a(a_root);
+  ArtifactStore b(b_root);
+  a.publish(make_key("shared"), make_entry());
+  b.publish(make_key("shared"), make_entry());  // overlap, same bytes
+  b.publish(make_key("only-b"), make_entry(2.5));
+  EXPECT_EQ(a.merge_from(b_root), 1u);  // only-b inserted, shared skipped
+  EXPECT_EQ(a.size(), 2u);
+  const auto merged = a.find(make_key("only-b"));
+  ASSERT_TRUE(merged);
+  EXPECT_EQ(merged->clock_period_ns, 2.5);
+  // Idempotent: everything now overlaps and agrees.
+  EXPECT_EQ(a.merge_from(b_root), 0u);
+}
+
+TEST(ArtifactStoreMerge, OverlapConflictRejectsTheWholeMerge) {
+  const std::string a_root = fresh_dir("art_mergec_a");
+  const std::string b_root = fresh_dir("art_mergec_b");
+  ArtifactStore a(a_root);
+  ArtifactStore b(b_root);
+  a.publish(make_key("shared"), make_entry(1.5));
+  b.publish(make_key("shared"), make_entry(2.5));  // disagrees
+  b.publish(make_key("only-b"), make_entry());
+  EXPECT_THROW(a.merge_from(b_root), Error);
+  // No partial state: the conflicting key kept a's bytes and only-b was
+  // NOT inserted even though it was conflict-free.
+  EXPECT_EQ(a.size(), 1u);
+  const auto kept = a.find(make_key("shared"));
+  ASSERT_TRUE(kept);
+  EXPECT_EQ(kept->clock_period_ns, 1.5);
+  EXPECT_FALSE(a.find(make_key("only-b")));
+}
+
+TEST(ArtifactStoreMerge, CorruptSourceEntryRejectsTheWholeMerge) {
+  const std::string a_root = fresh_dir("art_merged_a");
+  const std::string b_root = fresh_dir("art_merged_b");
+  ArtifactStore a(a_root);
+  ArtifactStore b(b_root);
+  b.publish(make_key("good"), make_entry());
+  const std::string bad = b.object_path(make_key("bad"));
+  write_file(bad, ArtifactStore::serialize(make_key("bad"), make_entry())
+                      .substr(0, 64));
+  EXPECT_THROW(a.merge_from(b_root), Error);
+  EXPECT_EQ(a.size(), 0u);  // the good entry was not inserted either
+}
+
+TEST(ArtifactStoreMerge, RenamedSourceFileIsRejected) {
+  // A valid artifact under the wrong file name means its content address
+  // lies — refuse rather than import under either name.
+  const std::string a_root = fresh_dir("art_mergern_a");
+  const std::string b_root = fresh_dir("art_mergern_b");
+  ArtifactStore a(a_root);
+  ArtifactStore b(b_root);
+  b.publish(make_key("entry"), make_entry());
+  const std::string from = b.object_path(make_key("entry"));
+  write_file(b_root + "/objects/00000000deadbeef.art", read_file(from));
+  try {
+    a.merge_from(b_root);
+    FAIL() << "renamed artifact did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("content address"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(a.size(), 0u);
+}
+
+// --- crash safety --------------------------------------------------------
+
+TEST(ArtifactStoreCrash, SigkilledWriterNeverCorruptsTheStore) {
+  // Fork a writer that publishes and deletes the same entry in a tight
+  // loop, SIGKILL it at arbitrary points, and verify after every kill
+  // that the store is never in a half-written state: the object is either
+  // absent or bit-exact, and a rerun converges to the same bytes.
+  const std::string root = fresh_dir("art_crash");
+  const ArtifactKey key = make_key();
+  const std::string blob = ArtifactStore::serialize(key, make_entry());
+
+  for (int round = 0; round < 4; ++round) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: hammer publish/remove until killed. _exit on any error so
+      // a child failure cannot masquerade as a parent assertion.
+      try {
+        ArtifactStore writer(root);
+        const std::string path = writer.object_path(key);
+        for (;;) {
+          writer.publish(key, make_entry());
+          std::remove(path.c_str());
+        }
+      } catch (...) {
+        ::_exit(97);
+      }
+    }
+    ::usleep(5000 + 7000 * round);  // vary the kill point across rounds
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "writer child did not die by SIGKILL: status " << status;
+
+    ArtifactStore reader(root);
+    const std::string path = reader.object_path(key);
+    if (std::ifstream probe(path); probe.good()) {
+      // Committed object => complete and bit-exact (rename is atomic).
+      EXPECT_EQ(read_file(path), blob);
+      ASSERT_TRUE(reader.find(key));
+    } else {
+      EXPECT_FALSE(reader.find(key));
+    }
+    EXPECT_EQ(reader.rejected(), 0u) << "round " << round;
+
+    // A rerun over the crashed store converges to the exact same bytes.
+    reader.publish(key, make_entry());
+    EXPECT_EQ(read_file(path), blob);
+  }
+}
+
+}  // namespace
+}  // namespace hlp

@@ -15,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -22,6 +23,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -30,6 +32,7 @@
 #include "flow/experiment.hpp"
 #include "flow/job_io.hpp"
 #include "power/sa_cache.hpp"
+#include "store/artifact_store.hpp"
 
 namespace hlp {
 namespace {
@@ -793,6 +796,10 @@ TEST(Distributed, SaShardsMergeIntoWarmStartFile) {
       small_job("pr"));
 
   flow::DistributedRunner dist(2, 1);
+  // Pin the cold SA compute in every worker: opt out of any ambient
+  // HLP_STORE (the CI artifact-store leg), whose warm artifacts would
+  // skip the SA work this shard-merge test asserts.
+  dist.set_store_dir("");
   dist.set_sa_cache_path(prefix);
   const auto got = dist.run(jobs);
   for (const auto& r : got) EXPECT_TRUE(r.ok) << r.error;
@@ -810,6 +817,83 @@ TEST(Distributed, SaShardsMergeIntoWarmStartFile) {
   EXPECT_EQ(fresh.merge_from(file), reloaded.size());
   EXPECT_EQ(fresh.merge_from(file), 0u);
   EXPECT_EQ(fresh.misses(), 0u);
+}
+
+// ---- shared artifact store -----------------------------------------------
+
+TEST(Distributed, SharedStoreSurvivesConcurrentRunnersAndWarmsTheRerun) {
+  // The concurrency property: two in-process threaded runners (on their
+  // own std::threads) and a 2-worker distributed fleet all publish the
+  // SAME overlapping keys into one store, concurrently. Atomic
+  // write-then-rename plus overlap-must-agree means the dogpile must
+  // produce one consistent store — every committed object strictly valid
+  // at its content address — and every participant must still be
+  // bit-identical to a store-less reference run. A warm rerun of the
+  // same randomized grid then comes off disk wholesale.
+  const std::vector<flow::Job> jobs = property_grid();
+  flow::ExperimentRunner reference(3);
+  const auto want = reference.run(jobs);
+
+  const std::string dir = ::testing::TempDir() + "/dist_store";
+  std::filesystem::remove_all(dir);
+
+  std::vector<flow::JobResult> r1, r2, rd;
+  {
+    flow::ExperimentRunner a(2), b(2);
+    a.set_store_dir(dir);
+    b.set_store_dir(dir);
+    flow::DistributedRunner fleet(2, 2);
+    fleet.set_store_dir(dir);
+    std::thread ta([&] { r1 = a.run(jobs); });
+    std::thread tb([&] { r2 = b.run(jobs); });
+    rd = fleet.run(jobs);
+    ta.join();
+    tb.join();
+  }
+  ASSERT_EQ(r1.size(), want.size());
+  ASSERT_EQ(r2.size(), want.size());
+  ASSERT_EQ(rd.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(flow::same_outcome(want[i], r1[i]))
+        << "thread A diverged on job " << i << ": '" << r1[i].error << "'";
+    EXPECT_TRUE(flow::same_outcome(want[i], r2[i]))
+        << "thread B diverged on job " << i << ": '" << r2[i].error << "'";
+    EXPECT_TRUE(flow::same_outcome(want[i], rd[i]))
+        << "fleet diverged on job " << i << ": '" << rd[i].error << "'";
+  }
+
+  // One consistent store: merge_from is the strict auditor — it refuses
+  // on any entry that is corrupt, misplaced or conflicting, so a clean
+  // full-count merge certifies every object the dogpile committed.
+  const std::string audit_root = ::testing::TempDir() + "/dist_store_audit";
+  std::filesystem::remove_all(audit_root);
+  store::ArtifactStore audit(audit_root);
+  const std::size_t merged = audit.merge_from(dir);
+  EXPECT_GT(merged, 0u);
+  EXPECT_EQ(merged, audit.size());
+
+  // Warm rerun from a fresh runner: bit-identical, the cached span served
+  // from disk for every job that can hit (the bad-benchmark job still
+  // fails with the same error, and nothing needed repair).
+  flow::ExperimentRunner warm(2);
+  warm.set_store_dir(dir);
+  const auto got = warm.run(jobs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(flow::same_outcome(want[i], got[i]))
+        << "warm rerun diverged on job " << i << ": '" << got[i].error << "'";
+    if (got[i].ok) {
+      EXPECT_FALSE(got[i].outcome.cached_stages.empty()) << "job " << i;
+      EXPECT_NE(std::find(got[i].outcome.cached_stages.begin(),
+                          got[i].outcome.cached_stages.end(), "elaborate"),
+                got[i].outcome.cached_stages.end())
+          << "job " << i;
+    }
+  }
+  ASSERT_NE(warm.artifact_store(), nullptr);
+  EXPECT_GT(warm.artifact_store()->hits(), 0u);
+  EXPECT_EQ(warm.artifact_store()->rejected(), 0u);
+  EXPECT_EQ(warm.artifact_store()->publishes(), 0u);
 }
 
 }  // namespace

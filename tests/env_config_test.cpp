@@ -3,8 +3,9 @@
 // (flow::coalesce_from_env), HLP_SIMD (simd_mode_from_env /
 // resolve_simd_mode), HLP_SETTLE (settle_mode_from_env), HLP_DISPATCH
 // (dispatch_mode_from_env / resolve_dispatch_mode), HLP_SA_MODE
-// (sa_mode_from_env / effective_sa_mode) and HLP_EXACT_BUDGET
-// (exact_budget_from_env).
+// (sa_mode_from_env / effective_sa_mode), HLP_EXACT_BUDGET
+// (exact_budget_from_env) and HLP_STORE (flow::store_dir_from_env plus
+// the runner's artifact-store wiring).
 // Garbage, negative, zero, overflow and unset inputs each have a pinned
 // behaviour: unset/empty falls back, everything invalid throws — a
 // sweep must die loudly, not run with a silently defaulted
@@ -21,6 +22,7 @@
 #include "flow/experiment.hpp"
 #include "power/sa_mode.hpp"
 #include "rtl/flow.hpp"
+#include "store/artifact_store.hpp"
 #include "sim/settle_mode.hpp"
 #include "sim/simd_mode.hpp"
 
@@ -516,6 +518,69 @@ TEST(EnvConfig, ExactBudgetErrorNamesTheVariableAndValue) {
     const std::string what = e.what();
     EXPECT_NE(what.find("HLP_EXACT_BUDGET"), std::string::npos);
     EXPECT_NE(what.find("banana"), std::string::npos);
+  }
+}
+
+TEST(EnvConfig, StoreUnsetAndEmptyFallBack) {
+  ScopedUnsetEnv env("HLP_STORE");
+  EXPECT_EQ(flow::store_dir_from_env(""), "");
+  EXPECT_EQ(flow::store_dir_from_env("/some/dir"), "/some/dir");
+  env.set("");
+  EXPECT_EQ(flow::store_dir_from_env("/other"), "/other");
+}
+
+TEST(EnvConfig, StoreEnvSetsTheRunnerDefault) {
+  ScopedUnsetEnv env("HLP_STORE");
+  flow::ExperimentRunner off(1);
+  EXPECT_TRUE(off.store_dir().empty());  // unset = no persistent store
+  const std::string dir = ::testing::TempDir() + "/env_store_default";
+  env.set(dir.c_str());
+  flow::ExperimentRunner on(1);
+  EXPECT_EQ(on.store_dir(), dir);
+  ASSERT_NE(on.artifact_store(), nullptr);
+  EXPECT_EQ(on.artifact_store()->root(), dir);
+}
+
+TEST(EnvConfig, StorePrefersExplicitOverEnv) {
+  ScopedUnsetEnv env("HLP_STORE");
+  env.set((::testing::TempDir() + "/env_store_loser").c_str());
+  const std::string dir = ::testing::TempDir() + "/env_store_winner";
+  flow::ExperimentRunner runner(1);
+  runner.set_store_dir(dir);
+  EXPECT_EQ(runner.store_dir(), dir);
+  ASSERT_NE(runner.artifact_store(), nullptr);
+  EXPECT_EQ(runner.artifact_store()->root(), dir);
+  // Explicit empty turns the store OFF even with the env var set.
+  flow::ExperimentRunner none(1);
+  none.set_store_dir("");
+  EXPECT_EQ(none.artifact_store(), nullptr);
+}
+
+TEST(EnvConfig, StoreGarbagePathErrorNamesTheVariableAndValue) {
+  ScopedUnsetEnv env("HLP_STORE");
+  // A path that cannot be a directory: opening must die loudly, naming
+  // the variable the bad value came from — not degrade to a cold run.
+  env.set("/dev/null/nope");
+  flow::ExperimentRunner runner(1);
+  try {
+    runner.artifact_store();
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("HLP_STORE"), std::string::npos);
+    EXPECT_NE(what.find("/dev/null/nope"), std::string::npos);
+  }
+  // The same bad path via the explicit setter blames the path, not the
+  // (unrelated) environment variable.
+  flow::ExperimentRunner explicit_runner(1);
+  explicit_runner.set_store_dir("/dev/null/nope");
+  try {
+    explicit_runner.artifact_store();
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("HLP_STORE"), std::string::npos) << what;
+    EXPECT_NE(what.find("/dev/null/nope"), std::string::npos);
   }
 }
 

@@ -232,7 +232,12 @@ TEST(ExperimentRunner, SaCachePersistenceWarmStart) {
   job.width = kWidth;
   job.num_vectors = 5;
 
+  // This test pins the *cold* SA compute-and-persist cycle, so opt out
+  // of any ambient HLP_STORE (the CI artifact-store leg runs the whole
+  // suite against one store): a warm artifact store serves the bound
+  // span from disk and legitimately skips the SA work asserted here.
   flow::ExperimentRunner cold(1);
+  cold.set_store_dir("");
   cold.set_sa_cache_path(path);
   ASSERT_TRUE(cold.run({job})[0].ok);
   EXPECT_GT(cold.sa_cache(kWidth).misses(), 0u);
@@ -243,6 +248,7 @@ TEST(ExperimentRunner, SaCachePersistenceWarmStart) {
 
   // ...and a fresh runner starts warm: zero SA computations.
   flow::ExperimentRunner warm(1);
+  warm.set_store_dir("");
   warm.set_sa_cache_path(path);
   ASSERT_TRUE(warm.run({job})[0].ok);
   EXPECT_EQ(warm.sa_cache(kWidth).misses(), 0u);

@@ -1,10 +1,18 @@
 // Tests for the per-binding StageCache: hits skip the bind-fus..time span
 // (elaborate/map included), binding_hash() cannot collide across differing
 // BinderSpec/rc/width, cached and uncached outcomes are equal, and custom
-// stage overrides opt the pipeline out of caching entirely.
+// stage overrides opt the pipeline out of caching entirely — plus the
+// persistent tier underneath it (HLP_STORE / ExperimentRunner store
+// wiring): a warm second run against the same artifact store skips
+// elaborate/map/time bit-identically from a cold process.
+//
+// The direct-FlowContext tests construct their contexts by hand, which
+// never binds an artifact store — their hit/miss/size counters stay exact
+// whatever HLP_STORE says in the surrounding environment.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <vector>
@@ -12,7 +20,9 @@
 #include "cdfg/benchmarks.hpp"
 #include "flow/experiment.hpp"
 #include "flow/flow_context.hpp"
+#include "flow/job_io.hpp"
 #include "flow/pipeline.hpp"
+#include "store/artifact_store.hpp"
 
 namespace hlp {
 namespace {
@@ -235,6 +245,122 @@ TEST(StageCache, BatchRunsShareTheCacheWithSingleRuns) {
   EXPECT_EQ(again[0].flow.sim.toggles, probe.flow.sim.toggles);
   EXPECT_EQ(again[0].flow.report.dynamic_power_mw,
             probe.flow.report.dynamic_power_mw);
+}
+
+// --- the persistent tier: ExperimentRunner + ArtifactStore ---------------
+
+std::vector<flow::Job> store_grid() {
+  std::vector<flow::Job> jobs;
+  for (const char* bench : {"pr", "wang"})
+    for (const std::uint64_t seed : {42ull, 7ull}) {
+      flow::Job j;
+      j.benchmark = bench;
+      j.binder.name = "hlpower";
+      j.width = kWidth;
+      j.num_vectors = kVectors;
+      j.seed = seed;
+      jobs.push_back(j);
+    }
+  return jobs;
+}
+
+std::string fresh_store_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(StageCacheStore, WarmRunnerSkipsTheCachedSpanBitIdentically) {
+  const std::string dir = fresh_store_dir("pipeline_store_warm");
+  const std::vector<flow::Job> jobs = store_grid();
+
+  // Cold: a fresh runner computes everything and publishes each context's
+  // bind-fus..time entry into the store.
+  std::vector<flow::JobResult> cold;
+  {
+    flow::ExperimentRunner runner(2);
+    runner.set_store_dir(dir);
+    cold = runner.run(jobs);
+    ASSERT_NE(runner.artifact_store(), nullptr);
+    EXPECT_EQ(runner.artifact_store()->hits(), 0u);
+    EXPECT_GT(runner.artifact_store()->publishes(), 0u);
+    EXPECT_GT(runner.artifact_store()->size(), 0u);
+  }
+  for (const auto& r : cold) ASSERT_TRUE(r.ok) << r.error;
+
+  // Warm: a NEW runner (fresh process state: empty in-memory caches)
+  // against the same store must reuse every entry — the expensive span is
+  // skipped wholesale and the numbers are bit-identical.
+  flow::ExperimentRunner warm_runner(2);
+  warm_runner.set_store_dir(dir);
+  const std::vector<flow::JobResult> warm = warm_runner.run(jobs);
+  ASSERT_NE(warm_runner.artifact_store(), nullptr);
+  EXPECT_GT(warm_runner.artifact_store()->hits(), 0u);
+  EXPECT_EQ(warm_runner.artifact_store()->rejected(), 0u);
+  // Nothing new to say: every publish was a byte-equal no-op.
+  EXPECT_EQ(warm_runner.artifact_store()->publishes(), 0u);
+
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    ASSERT_TRUE(warm[i].ok) << warm[i].error;
+    EXPECT_TRUE(flow::same_outcome(cold[i], warm[i])) << "job " << i;
+    // The whole cached span came off disk, elaborate/map/time included.
+    for (const char* stage : {"bind-fus", "elaborate", "map", "time"})
+      EXPECT_TRUE(cached(warm[i].outcome, stage))
+          << "job " << i << " stage " << stage;
+  }
+}
+
+TEST(StageCacheStore, RunnersWithoutAStoreStayCold) {
+  // No store dir: two fresh runners never share artifacts (the pre-store
+  // behaviour), pinning that persistence is strictly opt-in.
+  const std::vector<flow::Job> jobs = {store_grid()[0]};
+  flow::ExperimentRunner a(1), b(1);
+  a.set_store_dir("");
+  b.set_store_dir("");
+  const auto ra = a.run(jobs);
+  const auto rb = b.run(jobs);
+  ASSERT_TRUE(ra[0].ok && rb[0].ok);
+  EXPECT_TRUE(ra[0].outcome.cached_stages.empty());
+  EXPECT_TRUE(rb[0].outcome.cached_stages.empty());
+  EXPECT_TRUE(flow::same_outcome(ra[0], rb[0]));
+  EXPECT_EQ(a.artifact_store(), nullptr);
+}
+
+TEST(StageCacheStore, CorruptStoreDegradesToAColdRunAndSelfHeals) {
+  const std::string dir = fresh_store_dir("pipeline_store_corrupt");
+  const std::vector<flow::Job> jobs = {store_grid()[0]};
+  std::vector<flow::JobResult> cold;
+  {
+    flow::ExperimentRunner runner(1);
+    runner.set_store_dir(dir);
+    cold = runner.run(jobs);
+    ASSERT_TRUE(cold[0].ok) << cold[0].error;
+    ASSERT_EQ(runner.artifact_store()->size(), 1u);
+  }
+  // Truncate every object: a warm run must fall back to computing (and
+  // republish the repaired entries), never fail or serve garbage.
+  for (const auto& de :
+       std::filesystem::directory_iterator(dir + "/objects")) {
+    const auto sz = std::filesystem::file_size(de.path());
+    std::filesystem::resize_file(de.path(), sz / 2);
+  }
+  flow::ExperimentRunner warm(1);
+  warm.set_store_dir(dir);
+  const auto again = warm.run(jobs);
+  ASSERT_TRUE(again[0].ok) << again[0].error;
+  EXPECT_TRUE(again[0].outcome.cached_stages.empty());  // cold recompute
+  EXPECT_GT(warm.artifact_store()->rejected(), 0u);
+  EXPECT_GT(warm.artifact_store()->publishes(), 0u);  // repaired
+  EXPECT_TRUE(flow::same_outcome(cold[0], again[0]));
+
+  // Third run: the repair made the store warm again.
+  flow::ExperimentRunner healed(1);
+  healed.set_store_dir(dir);
+  const auto third = healed.run(jobs);
+  ASSERT_TRUE(third[0].ok) << third[0].error;
+  EXPECT_TRUE(cached(third[0].outcome, "elaborate"));
+  EXPECT_TRUE(flow::same_outcome(cold[0], third[0]));
 }
 
 }  // namespace

@@ -417,7 +417,10 @@ TEST(SaCacheExact, RunnerPersistsAndPreloadsExactTables) {
   job.num_vectors = 8;
   job.sa = SaMode::kExact;
   {
+    // Pin the cold SA compute: opt out of any ambient HLP_STORE (the CI
+    // artifact-store leg), whose warm artifacts would skip the SA work.
     flow::ExperimentRunner runner(1);
+    runner.set_store_dir("");
     runner.set_sa_cache_path(prefix);
     const auto results = runner.run({job});
     ASSERT_TRUE(results[0].ok) << results[0].error;
@@ -428,6 +431,7 @@ TEST(SaCacheExact, RunnerPersistsAndPreloadsExactTables) {
     ASSERT_TRUE(probe.good()) << "expected warm-start file '" << file << "'";
   }
   flow::ExperimentRunner warm(1);
+  warm.set_store_dir("");
   warm.set_sa_cache_path(prefix);
   SaCache& cache = warm.sa_cache(4, SaMode::kExact);
   EXPECT_GT(cache.size(), 0u);

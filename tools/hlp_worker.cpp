@@ -3,10 +3,10 @@
 //
 //   hlp_worker --manifest <file> --results <file>     (batch, protocol v1)
 //              [--sa-out <prefix>] [--sa-in <prefix>]
-//              [--jobs <n>] [--coalesce 0|1]
+//              [--jobs <n>] [--coalesce 0|1] [--store <dir>]
 //   hlp_worker --serve                                (stream, protocol v2)
 //              [--sa-out <prefix>] [--sa-in <prefix>]
-//              [--jobs <n>] [--coalesce 0|1]
+//              [--jobs <n>] [--coalesce 0|1] [--store <dir>]
 //
 // Batch mode (HLP_DISPATCH=static): loads a job-slice manifest, runs it
 // through the ordinary in-process ExperimentRunner (seed coalescing and
@@ -29,6 +29,13 @@
 // warm-start prefix first, so a worker starts as warm as the parent. The
 // SA mode itself arrives pre-resolved in each manifest row (`sa=`), so a
 // worker's own HLP_SA_MODE never influences which backend runs.
+//
+// "--store <dir>" points the worker at the fleet's shared artifact store
+// (src/store/artifact_store.hpp): stage artifacts computed here persist
+// for every other worker and future runs. Like the SA mode, the store is
+// the PARENT's decision — the worker always overrides its own HLP_STORE
+// with the flag's value (absent flag = no store), so a fleet behaves the
+// same whatever environment its workers inherit.
 //
 // Exit status: 0 when the work ran — including jobs that failed, which
 // report through their serialized JobResult::error, exactly like the
@@ -65,6 +72,7 @@ struct Options {
   std::string results;
   std::string sa_out;
   std::string sa_in;
+  std::string store;
   int jobs = 1;
   bool coalesce = true;
   bool serve = false;
@@ -74,10 +82,12 @@ struct Options {
   std::cerr << "hlp_worker: " << why << "\n"
             << "usage: hlp_worker --manifest <file> --results <file>\n"
             << "                  [--sa-out <prefix>] [--sa-in <prefix>]\n"
-            << "                  [--jobs <n>] [--coalesce 0|1]\n"
+            << "                  [--jobs <n>] [--coalesce 0|1] "
+               "[--store <dir>]\n"
             << "   or: hlp_worker --serve [--sa-out <prefix>] "
                "[--sa-in <prefix>]\n"
-            << "                  [--jobs <n>] [--coalesce 0|1]\n";
+            << "                  [--jobs <n>] [--coalesce 0|1] "
+               "[--store <dir>]\n";
   std::exit(2);
 }
 
@@ -99,6 +109,8 @@ Options parse_args(int argc, char** argv) {
       opt.sa_out = value;
     } else if (flag == "--sa-in") {
       opt.sa_in = value;
+    } else if (flag == "--store") {
+      opt.store = value;
     } else if (flag == "--jobs") {
       char* end = nullptr;
       errno = 0;
@@ -151,6 +163,9 @@ int run_batch(const Options& opt) {
 
   flow::ExperimentRunner runner(opt.jobs);
   runner.set_coalescing(opt.coalesce);
+  // The store is the parent's call: always override the environment with
+  // the flag (empty = none), so a worker never opens its own HLP_STORE.
+  runner.set_store_dir(opt.store);
   // Private SA shard out (run() persists there); shared warm start in.
   runner.set_sa_cache_path(opt.sa_out);  // empty = no persistence
   std::set<std::pair<int, hlp::SaMode>> preloaded;
@@ -178,6 +193,9 @@ int run_serve(const Options& opt) {
   using namespace hlp;
   flow::ExperimentRunner runner(opt.jobs);
   runner.set_coalescing(opt.coalesce);
+  // As in batch mode: the parent's --store (or none), never the worker's
+  // own HLP_STORE.
+  runner.set_store_dir(opt.store);
   // No persistence path while serving: run() must not flush the SA tables
   // after every unit (and must not inherit HLP_SA_CACHE from the parent's
   // environment) — the shard is written once, at exit.
