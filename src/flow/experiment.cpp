@@ -14,6 +14,8 @@
 #include "cdfg/benchmarks.hpp"
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "sim/settle_mode.hpp"
+#include "sim/simd_mode.hpp"
 #include "store/artifact_store.hpp"
 
 namespace hlp::flow {
@@ -157,6 +159,25 @@ void ExperimentRunner::set_sa_cache_path(std::string path) {
   sa_cache_path_ = std::move(path);
 }
 
+void ExperimentRunner::set_result_callback(ResultCallback cb) {
+  result_cb_ = std::move(cb);
+}
+
+store::ArtifactKey ExperimentRunner::artifact_key_for(const Job& job) {
+  FlowContext& ctx = context_for(job);
+  const RunSpec spec = spec_for(job);
+  store::ArtifactKey key;
+  key.scope = ctx.store_scope(context_key(job));
+  key.binding = ctx.binding_hash(spec.binder, spec.map, spec.timing);
+  // Mode tags exactly as Pipeline::make_cursor records them: SA resolved
+  // (it changes values), settle/simd as requested (they cannot change the
+  // cached artifacts).
+  key.sa = sa_mode_name(ctx.sa_cache().mode());
+  key.settle = settle_mode_name(spec.settle);
+  key.simd = simd_mode_name(spec.simd);
+  return key;
+}
+
 void ExperimentRunner::set_store_dir(std::string dir) {
   std::lock_guard<std::mutex> lock(mu_);
   store_dir_ = std::move(dir);
@@ -253,6 +274,7 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
       res.error = e.what();
     }
     res.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (result_cb_) result_cb_(i, res);
   };
 
   // Coalesce jobs that differ only in stimulus seed (plan_units: one unit
@@ -288,6 +310,10 @@ std::vector<JobResult> ExperimentRunner::run(const std::vector<Job>& jobs) {
     const double secs =
         std::chrono::duration<double>(Clock::now() - t0).count();
     for (const std::size_t i : members) results[i].seconds = secs;
+    // Fire only after every member's slot is complete (seconds included),
+    // in ascending grid order within the unit.
+    if (result_cb_)
+      for (const std::size_t i : members) result_cb_(i, results[i]);
   };
 
   const int workers =

@@ -33,7 +33,8 @@
 #include "power/sa_cache.hpp"
 
 namespace hlp::store {
-class ArtifactStore;  // store/artifact_store.hpp
+class ArtifactStore;   // store/artifact_store.hpp
+struct ArtifactKey;    // store/artifact_store.hpp
 }
 
 namespace hlp::flow {
@@ -144,8 +145,31 @@ class ExperimentRunner {
   /// Run all jobs; results in job order.
   std::vector<JobResult> run(const std::vector<Job>& jobs);
 
+  /// Streaming hook: `cb(index, result)` fires once per job, on the pool
+  /// thread that executed it, immediately after the job's slot in the
+  /// result vector is fully populated — failures included, and every
+  /// member of a coalesced unit in ascending grid order. Placement is
+  /// unchanged: run() still returns results in job order; the callback
+  /// only adds completion-order visibility (an online Pareto frontier, a
+  /// progress bar) on top. With num_threads > 1 the callback runs
+  /// concurrently from several workers and must be thread-safe. The
+  /// reference passed is the slot itself and stays valid until run()
+  /// returns. An empty function disables the hook.
+  using ResultCallback = std::function<void(std::size_t, const JobResult&)>;
+  void set_result_callback(ResultCallback cb);
+
   /// The memoised context a job maps to (creating it if needed).
   FlowContext& context_for(const Job& job);
+
+  /// The exact ArtifactKey the standard pipeline would probe/publish for
+  /// this job's bind-fus..time span: the context's store scope (runner
+  /// key + CDFG digest), binding_hash under the default map/timing
+  /// parameters, the RESOLVED SA mode and the REQUESTED settle/simd modes
+  /// — mirroring Pipeline::make_cursor. Needs no store configured (the
+  /// explorer diffs steps with it; `hlp_store gc --keep-manifest` derives
+  /// live addresses from it); resolving rc may run the context's probe
+  /// schedule.
+  store::ArtifactKey artifact_key_for(const Job& job);
 
   /// The cache contexts of (`width`, `mode`) share: the external cache
   /// when both its width and mode match, else the runner-owned one. The
@@ -216,6 +240,7 @@ class ExperimentRunner {
   int num_threads_;
   GraphProvider provider_;
   SaCache* external_cache_;
+  ResultCallback result_cb_;
   bool coalesce_ = true;
   std::string sa_cache_path_;
   std::string store_dir_;

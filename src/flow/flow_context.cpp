@@ -71,9 +71,13 @@ std::string cdfg_digest(const Cdfg& g) {
 
 }  // namespace
 
+std::string FlowContext::store_scope(const std::string& runner_key) const {
+  return runner_key + "|g" + cdfg_digest(g_);
+}
+
 void FlowContext::set_artifact_store(store::ArtifactStore* store,
                                      const std::string& scope) {
-  stage_cache_->bind_store(store, scope + "|g" + cdfg_digest(g_));
+  stage_cache_->bind_store(store, store_scope(scope));
 }
 
 std::string FlowContext::binding_hash(const BinderSpec& binder,

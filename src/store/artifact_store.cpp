@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <ios>
+#include <signal.h>
 #include <sstream>
 #include <unistd.h>
 
@@ -387,6 +389,52 @@ std::string read_file(const std::string& path, bool* exists) {
   return buf.str();
 }
 
+// now - mtime in whole seconds, clamped at 0 (clock skew between the
+// writer and this reader must not produce negative ages).
+std::int64_t age_seconds_of(const fs::path& p) {
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(p, ec);
+  if (ec) return 0;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  const auto secs =
+      std::chrono::duration_cast<std::chrono::seconds>(age).count();
+  return secs < 0 ? 0 : static_cast<std::int64_t>(secs);
+}
+
+// All committed objects, sorted by filename so every report that walks
+// the store is deterministic regardless of directory iteration order.
+std::vector<fs::path> sorted_objects(const std::string& objects_dir) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(objects_dir, ec)) {
+    if (de.is_regular_file() && de.path().extension() == ".art")
+      files.push_back(de.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// A staging dir is stale when the writer that owns it is provably gone:
+// its `p<pid>-<n>` name carries a pid that no longer exists, or — for
+// unparseable names and recycled-pid doubt — it has sat untouched far
+// longer than any staged write lives (commits rename out immediately).
+constexpr std::int64_t kStaleStagingAgeSeconds = 24 * 60 * 60;
+
+bool staging_dir_is_stale(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  if (name.size() > 1 && name[0] == 'p') {
+    errno = 0;
+    char* end = nullptr;
+    const long pid = std::strtol(name.c_str() + 1, &end, 10);
+    if (end && *end == '-' && errno == 0 && pid > 0) {
+      if (::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH)
+        return true;  // owner is dead; its litter can never be committed
+      return false;   // owner (or a pid reuse) is alive — leave it alone
+    }
+  }
+  return age_seconds_of(dir) > kStaleStagingAgeSeconds;
+}
+
 }  // namespace
 
 std::string ArtifactKey::full() const {
@@ -652,6 +700,105 @@ std::size_t ArtifactStore::size() const {
     if (de.is_regular_file() && de.path().extension() == ".art") ++n;
   }
   return n;
+}
+
+std::vector<ObjectInfo> ArtifactStore::enumerate() const {
+  std::vector<ObjectInfo> out;
+  for (const fs::path& p : sorted_objects(objects_)) {
+    ObjectInfo info;
+    info.path = p.string();
+    info.address = p.stem().string();
+    std::error_code ec;
+    const std::uintmax_t bytes = fs::file_size(p, ec);
+    info.bytes = ec ? 0 : bytes;
+    info.age_seconds = age_seconds_of(p);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::size_t ArtifactStore::sweep_stale_staging() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(root_ + "/staging", ec)) {
+    if (!de.is_directory()) continue;
+    if (de.path() == fs::path(staging_)) continue;  // never our own
+    if (!staging_dir_is_stale(de.path())) continue;
+    std::error_code rec;
+    fs::remove_all(de.path(), rec);
+    if (!rec) ++removed;
+  }
+  return removed;
+}
+
+FsckReport ArtifactStore::fsck(bool repair) {
+  FsckReport report;
+  for (const fs::path& p : sorted_objects(objects_)) {
+    ++report.scanned;
+    std::string defect;
+    try {
+      bool exists = false;
+      const std::string bytes = read_file(p.string(), &exists);
+      HLP_REQUIRE(exists, "cannot open artifact '" << p.string() << "'");
+      const LoadedArtifact art = parse(bytes, "'" + p.string() + "'");
+      HLP_REQUIRE(
+          content_address(art.key) + ".art" == p.filename().string(),
+          "artifact '" << p.string() << "': file name does not match its "
+                       << "content address (renamed or tampered)");
+      ++report.valid;
+      continue;
+    } catch (const std::exception& e) {
+      defect = e.what();
+    }
+    report.rejected.push_back(p.string() + ": " + defect);
+    if (repair) {
+      std::error_code ec;
+      if (fs::remove(p, ec) && !ec) ++report.repaired;
+    }
+  }
+  if (repair) report.staging_removed = sweep_stale_staging();
+  return report;
+}
+
+GcReport ArtifactStore::gc(const GcOptions& opt) {
+  GcReport report;
+  std::vector<fs::path> drop;
+  for (const fs::path& p : sorted_objects(objects_)) {
+    ++report.scanned;
+    bool valid = true;
+    try {
+      bool exists = false;
+      const std::string bytes = read_file(p.string(), &exists);
+      HLP_REQUIRE(exists, "cannot open artifact '" << p.string() << "'");
+      const LoadedArtifact art = parse(bytes, "'" + p.string() + "'");
+      HLP_REQUIRE(content_address(art.key) + ".art" == p.filename().string(),
+                  "artifact '" << p.string() << "': misplaced");
+    } catch (const std::exception&) {
+      valid = false;
+    }
+    if (!valid) {
+      ++report.dropped_invalid;
+      drop.push_back(p);
+    } else if (opt.live_addresses &&
+               !opt.live_addresses->count(p.stem().string())) {
+      ++report.dropped_unreferenced;
+      drop.push_back(p);
+    } else if (opt.max_age_seconds >= 0 &&
+               age_seconds_of(p) > opt.max_age_seconds) {
+      ++report.dropped_aged;
+      drop.push_back(p);
+    } else {
+      ++report.kept;
+    }
+  }
+  if (!opt.dry_run) {
+    for (const fs::path& p : drop) {
+      std::error_code ec;
+      fs::remove(p, ec);
+    }
+    report.staging_removed = sweep_stale_staging();
+  }
+  return report;
 }
 
 }  // namespace hlp::store

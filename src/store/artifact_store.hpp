@@ -51,7 +51,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "flow/pipeline.hpp"
 
@@ -75,6 +78,52 @@ struct ArtifactKey {
 struct LoadedArtifact {
   ArtifactKey key;
   flow::StageCache::Entry entry;
+};
+
+/// One committed object as enumerate() reports it — identity and age
+/// metadata only, no parse. The age is derived from the object's mtime,
+/// which the atomic write-then-rename commit preserves from the staged
+/// write, so it reflects when the entry was (re)computed, not renamed.
+struct ObjectInfo {
+  std::string path;            // absolute object path
+  std::string address;         // 16-hex content address (the filename stem)
+  std::uintmax_t bytes = 0;    // file size
+  std::int64_t age_seconds = 0;  // now - mtime, clamped at 0
+};
+
+/// What fsck() found (and, in repair mode, did).
+struct FsckReport {
+  std::size_t scanned = 0;   // .art objects examined
+  std::size_t valid = 0;     // passed strict parse + address check
+  /// One "<path>: <defect>" line per object that failed validation.
+  std::vector<std::string> rejected;
+  std::size_t repaired = 0;         // invalid objects removed (repair mode)
+  std::size_t staging_removed = 0;  // stale staging dirs swept (repair mode)
+
+  bool clean() const { return rejected.empty(); }
+};
+
+/// What gc() keeps and drops. Filters compose as keeps: an object
+/// survives iff it parses, is referenced (when `live_addresses` is set)
+/// AND is young enough (when `max_age_seconds` is set). Invalid objects
+/// never survive a gc — fsck reports them, gc collects them.
+struct GcOptions {
+  /// Drop referenced-but-older-than-this objects; negative = no age limit.
+  std::int64_t max_age_seconds = -1;
+  /// Keep only objects whose content address is in this set (e.g. the
+  /// addresses a manifest's jobs map to); unset = everything is live.
+  std::optional<std::set<std::string>> live_addresses;
+  /// Report what would be dropped without touching the store.
+  bool dry_run = false;
+};
+
+struct GcReport {
+  std::size_t scanned = 0;
+  std::size_t kept = 0;
+  std::size_t dropped_unreferenced = 0;  // not in live_addresses
+  std::size_t dropped_aged = 0;          // referenced but past max_age
+  std::size_t dropped_invalid = 0;       // failed validation
+  std::size_t staging_removed = 0;       // stale staging dirs swept
 };
 
 class ArtifactStore {
@@ -122,6 +171,25 @@ class ArtifactStore {
   /// Committed objects on disk right now (valid or not).
   std::size_t size() const;
 
+  /// Every committed object with its age metadata, sorted by content
+  /// address — deterministic regardless of directory iteration order. No
+  /// parse happens here; invalid objects are listed like valid ones.
+  std::vector<ObjectInfo> enumerate() const;
+
+  /// Validate every object via the strict parse (structure, checksum,
+  /// footer, netlists) plus the filename-matches-content-address check
+  /// that catches renamed or planted files. With `repair` set, invalid
+  /// objects are deleted (the next probe recomputes them — the store's
+  /// corruption contract) and stale staging directories left by dead
+  /// writers are swept. Never touches valid objects.
+  FsckReport fsck(bool repair);
+
+  /// Drop objects per GcOptions (see its comment for the keep rule).
+  /// Always sweeps stale staging directories unless dry_run. Safe against
+  /// concurrent readers: a dropped object is a plain unlink, which a
+  /// racing find() observes as a miss.
+  GcReport gc(const GcOptions& opt);
+
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
   /// Entries that existed but failed validation in find().
@@ -145,6 +213,8 @@ class ArtifactStore {
 
  private:
   void write_object(const std::string& path, const std::string& bytes);
+  /// Remove staging dirs whose writer is provably gone (never our own).
+  std::size_t sweep_stale_staging();
 
   std::string root_;
   std::string objects_;

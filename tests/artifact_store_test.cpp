@@ -13,8 +13,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -452,6 +454,181 @@ TEST(ArtifactStoreCrash, SigkilledWriterNeverCorruptsTheStore) {
     reader.publish(key, make_entry());
     EXPECT_EQ(read_file(path), blob);
   }
+}
+
+// --- hygiene: enumerate / fsck / gc --------------------------------------
+
+void back_date(const std::string& path, std::chrono::hours by) {
+  std::error_code ec;
+  const fs::file_time_type t = fs::last_write_time(path, ec);
+  ASSERT_FALSE(ec) << path;
+  fs::last_write_time(path, t - by, ec);
+  ASSERT_FALSE(ec) << path;
+}
+
+// Fork a child that exits immediately: its reaped pid names a process
+// that no longer exists, which is exactly what a dead writer's staging
+// directory looks like.
+pid_t dead_pid() {
+  const pid_t pid = ::fork();
+  if (pid == 0) ::_exit(0);
+  EXPECT_GT(pid, 0);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return pid;
+}
+
+TEST(ArtifactStoreHygiene, EnumerateListsObjectsSortedByAddress) {
+  ArtifactStore store(fresh_dir("art_enum"));
+  EXPECT_TRUE(store.enumerate().empty());
+  store.publish(make_key("b1"), make_entry());
+  store.publish(make_key("b2"), make_entry(2.5));
+  const auto objects = store.enumerate();
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_LT(objects[0].address, objects[1].address);
+  for (const store::ObjectInfo& obj : objects) {
+    EXPECT_GT(obj.bytes, 0u);
+    EXPECT_GE(obj.age_seconds, 0);
+    EXPECT_EQ(fs::path(obj.path).stem().string(), obj.address);
+    EXPECT_TRUE(fs::exists(obj.path));
+  }
+}
+
+TEST(ArtifactStoreHygiene, FsckOnAHealthyStoreIsClean) {
+  ArtifactStore empty(fresh_dir("art_fsck_empty"));
+  store::FsckReport report = empty.fsck(/*repair=*/false);
+  EXPECT_EQ(report.scanned, 0u);
+  EXPECT_TRUE(report.clean());
+
+  ArtifactStore store(fresh_dir("art_fsck_ok"));
+  store.publish(make_key("b1"), make_entry());
+  store.publish(make_key("b2"), make_entry(2.5));
+  report = store.fsck(/*repair=*/false);
+  EXPECT_EQ(report.scanned, 2u);
+  EXPECT_EQ(report.valid, 2u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.repaired, 0u);
+}
+
+TEST(ArtifactStoreHygiene, FsckReportsAndRepairsCorruption) {
+  const std::string root = fresh_dir("art_fsck_bad");
+  ArtifactStore store(root);
+  store.publish(make_key("good"), make_entry());
+  store.publish(make_key("trunc"), make_entry(2.5));
+  const std::string trunc_path = store.object_path(make_key("trunc"));
+  write_file(trunc_path, read_file(trunc_path).substr(0, 64));
+  // A byte-valid artifact under a lying file name (renamed/planted).
+  const std::string planted = root + "/objects/00000000deadbeef.art";
+  write_file(planted,
+             ArtifactStore::serialize(make_key("planted"), make_entry()));
+
+  // Without --repair: both defects named, nothing deleted.
+  store::FsckReport report = store.fsck(/*repair=*/false);
+  EXPECT_EQ(report.scanned, 3u);
+  EXPECT_EQ(report.valid, 1u);
+  ASSERT_EQ(report.rejected.size(), 2u);
+  EXPECT_EQ(report.repaired, 0u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(fs::exists(trunc_path));
+  EXPECT_TRUE(fs::exists(planted));
+
+  // With repair: rejects removed (address-miss recomputes them later),
+  // the healthy object untouched, and the next fsck is clean.
+  report = store.fsck(/*repair=*/true);
+  EXPECT_EQ(report.rejected.size(), 2u);
+  EXPECT_EQ(report.repaired, 2u);
+  EXPECT_FALSE(fs::exists(trunc_path));
+  EXPECT_FALSE(fs::exists(planted));
+  report = store.fsck(/*repair=*/false);
+  EXPECT_EQ(report.scanned, 1u);
+  EXPECT_TRUE(report.clean());
+  ASSERT_TRUE(store.find(make_key("good")));
+}
+
+TEST(ArtifactStoreHygiene, FsckRepairSweepsOnlyStaleStaging) {
+  const std::string root = fresh_dir("art_fsck_staging");
+  ArtifactStore store(root);
+  store.publish(make_key(), make_entry());
+
+  // A dead writer's directory: pid provably gone.
+  const std::string dead =
+      root + "/staging/p" + std::to_string(dead_pid()) + "-0";
+  fs::create_directories(dead);
+  // A live writer's directory (our own pid, different handle counter).
+  const std::string alive =
+      root + "/staging/p" + std::to_string(::getpid()) + "-99";
+  fs::create_directories(alive);
+  // Unparseable litter: kept while fresh, swept once older than the
+  // staleness window.
+  const std::string garbage = root + "/staging/not-a-writer";
+  fs::create_directories(garbage);
+
+  store::FsckReport report = store.fsck(/*repair=*/true);
+  EXPECT_EQ(report.staging_removed, 1u);
+  EXPECT_FALSE(fs::exists(dead));
+  EXPECT_TRUE(fs::exists(alive));
+  EXPECT_TRUE(fs::exists(garbage));
+
+  back_date(garbage, std::chrono::hours(25));
+  report = store.fsck(/*repair=*/true);
+  EXPECT_EQ(report.staging_removed, 1u);
+  EXPECT_FALSE(fs::exists(garbage));
+  EXPECT_TRUE(fs::exists(alive));
+  ASSERT_TRUE(store.find(make_key()));
+}
+
+TEST(ArtifactStoreHygiene, GcDropsAgedObjects) {
+  ArtifactStore store(fresh_dir("art_gc_age"));
+  store.publish(make_key("fresh"), make_entry());
+  store.publish(make_key("old"), make_entry(2.5));
+  back_date(store.object_path(make_key("old")), std::chrono::hours(2));
+
+  store::GcOptions opt;
+  opt.max_age_seconds = 3600;
+  const store::GcReport report = store.gc(opt);
+  EXPECT_EQ(report.scanned, 2u);
+  EXPECT_EQ(report.kept, 1u);
+  EXPECT_EQ(report.dropped_aged, 1u);
+  EXPECT_EQ(report.dropped_unreferenced, 0u);
+  EXPECT_EQ(report.dropped_invalid, 0u);
+  EXPECT_FALSE(store.find(make_key("old")));
+  ASSERT_TRUE(store.find(make_key("fresh")));
+}
+
+TEST(ArtifactStoreHygiene, GcDropsObjectsAManifestNoLongerReferences) {
+  ArtifactStore store(fresh_dir("art_gc_live"));
+  store.publish(make_key("live"), make_entry());
+  store.publish(make_key("dead"), make_entry(2.5));
+
+  store::GcOptions opt;
+  opt.live_addresses =
+      std::set<std::string>{ArtifactStore::content_address(make_key("live"))};
+  const store::GcReport report = store.gc(opt);
+  EXPECT_EQ(report.kept, 1u);
+  EXPECT_EQ(report.dropped_unreferenced, 1u);
+  EXPECT_FALSE(store.find(make_key("dead")));
+  ASSERT_TRUE(store.find(make_key("live")));
+}
+
+TEST(ArtifactStoreHygiene, GcDryRunReportsWithoutDeleting) {
+  ArtifactStore store(fresh_dir("art_gc_dry"));
+  store.publish(make_key("keep"), make_entry());
+  store.publish(make_key("broken"), make_entry(2.5));
+  const std::string bad = store.object_path(make_key("broken"));
+  write_file(bad, read_file(bad).substr(0, 32));
+
+  store::GcOptions opt;
+  opt.dry_run = true;
+  store::GcReport report = store.gc(opt);
+  EXPECT_EQ(report.kept, 1u);
+  EXPECT_EQ(report.dropped_invalid, 1u);
+  EXPECT_TRUE(fs::exists(bad));  // preview only
+
+  opt.dry_run = false;
+  report = store.gc(opt);
+  EXPECT_EQ(report.dropped_invalid, 1u);
+  EXPECT_FALSE(fs::exists(bad));
+  ASSERT_TRUE(store.find(make_key("keep")));
 }
 
 }  // namespace
